@@ -1,0 +1,282 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// at laptop scale, plus micro-benchmarks of the substrate's hot paths.
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFigNN/BenchmarkTableN runs the same code path as
+// `cmd/experiments -fig <id>` at a reduced Scale; EXPERIMENTS.md records
+// the paper-vs-measured comparison produced by the full runs.
+package rapidviz_test
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/conc"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/needletail"
+	"repro/internal/needletail/disksim"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// benchScale keeps each harness iteration around a second.
+func benchScale() experiments.Scale {
+	s := experiments.DefaultScale()
+	s.Reps = 2
+	s.Sizes = []int64{500_000, 1_000_000}
+	s.BaseRows = 500_000
+	s.MaxRounds = 1 << 21
+	return s
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table1(uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig3a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3a(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3b(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig4(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.PrintScatter(io.Discard)
+	}
+}
+
+func BenchmarkFig3c(b *testing.B) {
+	s := benchScale()
+	s.Reps = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3c(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5a(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5a(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5b(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5b(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5c6aConvergence(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Convergence(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6b(b *testing.B) {
+	s := benchScale()
+	s.Reps = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6b(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6c(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6c(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7a(b *testing.B) {
+	s := benchScale()
+	s.Reps = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7a(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7b(b *testing.B) {
+	s := benchScale()
+	s.Reps = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7b(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7c(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7c(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	s := benchScale()
+	s.Sizes = []int64{200_000}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate micro-benchmarks -------------------------------------------
+
+func BenchmarkIFocusRun(b *testing.B) {
+	u, err := workload.Virtual(workload.Config{Kind: workload.MixtureKind, K: 10, TotalRows: 10_000_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.MaxRounds = 1 << 21
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.IFocus(u, xrand.New(uint64(i)), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundRobinRun(b *testing.B) {
+	u, err := workload.Virtual(workload.Config{Kind: workload.MixtureKind, K: 10, TotalRows: 10_000_000, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultOptions()
+	opts.MaxRounds = 1 << 21
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RoundRobin(u, xrand.New(uint64(i)), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBitmapSelect(b *testing.B) {
+	bm := needletail.NewBitmap(1 << 20)
+	r := xrand.New(2)
+	for i := 0; i < 1<<20; i++ {
+		if r.Float64() < 0.1 {
+			bm.Set(i)
+		}
+	}
+	count := bm.Count()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bm.Select(r.Intn(count)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineSample(b *testing.B) {
+	schema := needletail.Schema{GroupColumn: "g", ValueColumns: []string{"v"}}
+	device := disksim.MustNew(disksim.DefaultCostModel())
+	tb := needletail.NewTableBuilder(schema, device)
+	r := xrand.New(3)
+	for i := 0; i < 200_000; i++ {
+		if err := tb.Append([]string{"a", "b", "c"}[r.Intn(3)], r.Float64()*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	table, err := tb.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.SampleRow(i%3, 0, r)
+	}
+}
+
+func BenchmarkRLECompress(b *testing.B) {
+	bm := needletail.NewBitmap(1 << 20)
+	for i := 100_000; i < 400_000; i++ {
+		bm.Set(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		needletail.Compress(bm)
+	}
+}
+
+func BenchmarkEpsilonSchedule(b *testing.B) {
+	sched := conc.MustSchedule(100, 10, 0.05, 1, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sched.Epsilon(i%1_000_000 + 2)
+	}
+}
+
+func BenchmarkAblationKappa(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationKappa(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationReplacement(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationReplacement(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationBlockCache(b *testing.B) {
+	s := benchScale()
+	s.Reps = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationBlockCache(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

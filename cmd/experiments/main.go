@@ -1,0 +1,184 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -fig table1
+//	experiments -fig fig3a -reps 20 -sizes 1e6,1e7,1e8
+//	experiments -fig all -scale paper
+//
+// Figure IDs: table1, fig3a, fig3b, fig3c, fig4, fig5a, fig5b, fig5c,
+// fig6a, fig6b, fig6c, fig7a, fig7b, fig7c, table3, ablations, all.
+// (fig5c and fig6a share the convergence runner; fig3b and fig4 share the
+// engine sweep; ablations covers the kappa / replacement / block-cache
+// design-choice studies.)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "figure/table id to regenerate (or 'all')")
+		scale = flag.String("scale", "default", "default | paper")
+		reps  = flag.Int("reps", 0, "override datasets per point")
+		sizes = flag.String("sizes", "", "override size sweep, comma-separated (e.g. 1e6,1e7)")
+		seed  = flag.Uint64("seed", 0, "override base seed")
+		base  = flag.Int64("base", 0, "override base dataset rows")
+	)
+	flag.Parse()
+
+	s := experiments.DefaultScale()
+	if *scale == "paper" {
+		s = experiments.PaperScale()
+	}
+	if *reps > 0 {
+		s.Reps = *reps
+	}
+	if *seed != 0 {
+		s.Seed = *seed
+	}
+	if *base > 0 {
+		s.BaseRows = *base
+	}
+	if *sizes != "" {
+		s.Sizes = nil
+		for _, tok := range strings.Split(*sizes, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+			if err != nil {
+				fatal("bad size %q: %v", tok, err)
+			}
+			s.Sizes = append(s.Sizes, int64(v))
+		}
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = []string{"table1", "fig3a", "fig3c", "fig4", "fig5a", "fig5b", "fig5c", "fig6b", "fig6c", "fig7a", "fig7b", "fig7c", "table3", "ablations"}
+	}
+	for _, id := range ids {
+		if err := run(id, s); err != nil {
+			fatal("%s: %v", id, err)
+		}
+		fmt.Println()
+	}
+}
+
+func run(id string, s experiments.Scale) error {
+	w := os.Stdout
+	switch id {
+	case "table1":
+		r, err := experiments.Table1(s.Seed)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig3a":
+		r, err := experiments.Fig3a(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig3b", "fig4":
+		r, err := experiments.Fig4(s)
+		if err != nil {
+			return err
+		}
+		if id == "fig3b" {
+			r.PrintScatter(w)
+			fmt.Fprintf(w, "samples/time Pearson correlation: %.4f\n", r.SamplesTimeCorrelation())
+		} else {
+			r.Print(w)
+		}
+	case "fig3c":
+		r, err := experiments.Fig3c(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig5a":
+		r, err := experiments.Fig5a(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig5b":
+		r, err := experiments.Fig5b(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig5c", "fig6a":
+		r, err := experiments.Convergence(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig6b":
+		r, err := experiments.Fig6b(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig6c":
+		r, err := experiments.Fig6c(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig7a":
+		r, err := experiments.Fig7a(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig7b":
+		r, err := experiments.Fig7b(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "fig7c":
+		r, err := experiments.Fig7c(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "table3":
+		r, err := experiments.Table3(s)
+		if err != nil {
+			return err
+		}
+		r.Print(w)
+	case "ablations":
+		ak, err := experiments.AblationKappa(s)
+		if err != nil {
+			return err
+		}
+		ak.Print(w)
+		ar, err := experiments.AblationReplacement(s)
+		if err != nil {
+			return err
+		}
+		ar.Print(w)
+		ac, err := experiments.AblationBlockCache(s)
+		if err != nil {
+			return err
+		}
+		ac.Print(w)
+	default:
+		return fmt.Errorf("unknown figure id %q", id)
+	}
+	return nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Dashboard exercises the paper's §6 extensions the way an analyst's
+// dashboard would: a top-5 leaderboard over many groups (Problem 4), a
+// trend line whose guarantee covers adjacent points only (Problem 3), a
+// value-accurate chart (Problem 6), and a fast mode that accepts mistakes
+// on a small fraction of comparisons (Problem 5).
+//
+//	go run ./examples/dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// --- Top-5 of 40 product lines by average basket value -------------
+	var products []rapidviz.Group
+	for i := 0; i < 40; i++ {
+		mean := 20 + 60*rng.Float64()
+		products = append(products, synthGroup(rng, fmt.Sprintf("sku-%02d", i), mean, 12, 50_000))
+	}
+	top, err := rapidviz.TopT(products, 5, rapidviz.Options{Bound: 100, Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("top-5 SKUs (of %d, sampled %d values): %s\n",
+		len(products), top.TotalSamples, strings.Join(top.Top, " > "))
+
+	// --- Trend line: monthly averages, adjacent ordering only ----------
+	var months []rapidviz.Group
+	for m := 0; m < 12; m++ {
+		mean := 50 + 25*math.Sin(float64(m)/12*2*math.Pi)
+		months = append(months, synthGroup(rng, fmt.Sprintf("m%02d", m+1), mean, 10, 50_000))
+	}
+	trend, err := rapidviz.Trend(months, rapidviz.Options{Bound: 100, Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	full, err := rapidviz.Order(months, rapidviz.Options{Bound: 100, Seed: 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrend (adjacent-only guarantee): %d samples vs %d for the full ordering\n",
+		trend.TotalSamples, full.TotalSamples)
+	fmt.Print(trend.RenderTrend())
+
+	// --- Value-accurate bars: ordering + |estimate - truth| <= 2 -------
+	regions := []rapidviz.Group{
+		synthGroup(rng, "emea", 42, 15, 80_000),
+		synthGroup(rng, "apac", 55, 15, 80_000),
+		synthGroup(rng, "amer", 49, 15, 80_000),
+	}
+	vals, err := rapidviz.OrderWithValues(regions, 2.0, rapidviz.Options{Bound: 100, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nvalue-accurate chart (±2.0 guarantee, ε=%.2f):\n", vals.Epsilon)
+	fmt.Print(vals.Render())
+
+	// --- Fast mode: 90% of pairwise comparisons guaranteed -------------
+	var channels []rapidviz.Group
+	for i := 0; i < 12; i++ {
+		mean := 30 + 40*rng.Float64()
+		channels = append(channels, synthGroup(rng, fmt.Sprintf("ch-%02d", i), mean, 18, 50_000))
+	}
+	strict, err := rapidviz.Order(channels, rapidviz.Options{Bound: 100, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fast, err := rapidviz.OrderAllowingMistakes(channels, 0.9, rapidviz.Options{Bound: 100, Seed: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nallowing mistakes on 10%% of pairs: %d samples vs %d strict (%.1fx fewer)\n",
+		fast.TotalSamples, strict.TotalSamples,
+		float64(strict.TotalSamples)/float64(fast.TotalSamples))
+}
+
+// synthGroup builds a materialized group of n clipped-normal values.
+func synthGroup(rng *rand.Rand, name string, mean, std float64, n int) rapidviz.Group {
+	values := make([]float64, n)
+	for i := range values {
+		v := mean + rng.NormFloat64()*std
+		if v < 0 {
+			v = 0
+		}
+		if v > 100 {
+			v = 100
+		}
+		values[i] = v
+	}
+	return rapidviz.GroupFromValues(name, values)
+}

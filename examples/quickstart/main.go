@@ -1,0 +1,56 @@
+// Quickstart: generate an ordering-guaranteed bar chart from in-memory
+// data with rapidviz.Order, and compare its cost against the exact scan.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	// Build five groups of 200k bounded values each with distinct means —
+	// think AVG(price) GROUP BY store.
+	rng := rand.New(rand.NewSource(7))
+	means := map[string]float64{
+		"north": 52, "south": 47, "east": 61, "west": 49, "online": 35,
+	}
+	var groups []rapidviz.Group
+	for _, name := range []string{"north", "south", "east", "west", "online"} {
+		values := make([]float64, 200_000)
+		for i := range values {
+			v := means[name] + rng.NormFloat64()*15
+			if v < 0 {
+				v = 0
+			}
+			if v > 100 {
+				v = 100
+			}
+			values[i] = v
+		}
+		groups = append(groups, rapidviz.GroupFromValues(name, values))
+	}
+
+	// Order samples adaptively and stops the moment the bar ordering is
+	// certain (with probability ≥ 1 − Delta).
+	res, err := rapidviz.Order(groups, rapidviz.Options{Delta: 0.05, Bound: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := rapidviz.Exact(groups, rapidviz.Options{Bound: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("sampled %d of %d values (%.3f%%)\n\n",
+		res.TotalSamples, exact.TotalSamples,
+		100*float64(res.TotalSamples)/float64(exact.TotalSamples))
+	fmt.Println("approximate (ordering guaranteed):")
+	fmt.Print(res.Render())
+	fmt.Println("\nexact:")
+	fmt.Print(exact.Render())
+}

@@ -1,0 +1,231 @@
+package conc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestNewScheduleValidation(t *testing.T) {
+	cases := []struct {
+		c     float64
+		k     int
+		delta float64
+		kappa float64
+		n     int64
+	}{
+		{0, 10, 0.05, 1, 0},
+		{-1, 10, 0.05, 1, 0},
+		{1, 0, 0.05, 1, 0},
+		{1, 10, 0, 1, 0},
+		{1, 10, 1, 1, 0},
+		{1, 10, 0.05, 0.5, 0},
+		{1, 10, 0.05, 1, -1},
+	}
+	for i, c := range cases {
+		if _, err := NewSchedule(c.c, c.k, c.delta, c.kappa, c.n); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	if _, err := NewSchedule(100, 10, 0.05, 1, 1e6); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestEpsilonDecreasesInM(t *testing.T) {
+	s := MustSchedule(100, 10, 0.05, 1, 0)
+	prev := math.Inf(1)
+	for m := 1; m < 100_000; m = m*3/2 + 1 {
+		eps := s.Epsilon(m)
+		if eps > prev {
+			t.Fatalf("epsilon increased at m=%d: %v > %v", m, eps, prev)
+		}
+		prev = eps
+	}
+}
+
+func TestEpsilonScalesWithC(t *testing.T) {
+	s1 := MustSchedule(1, 10, 0.05, 1, 0)
+	s100 := MustSchedule(100, 10, 0.05, 1, 0)
+	for _, m := range []int{1, 10, 1000, 100_000} {
+		r := s100.Epsilon(m) / s1.Epsilon(m)
+		if math.Abs(r-100) > 1e-9 {
+			t.Fatalf("epsilon not linear in c at m=%d: ratio %v", m, r)
+		}
+	}
+}
+
+func TestEpsilonFinitePopulation(t *testing.T) {
+	with := MustSchedule(100, 10, 0.05, 1, 0)
+	without := MustSchedule(100, 10, 0.05, 1, 1000)
+	for _, m := range []int{2, 10, 100, 500} {
+		if without.Epsilon(m) > with.Epsilon(m)+1e-12 {
+			t.Fatalf("finite-population epsilon exceeds infinite at m=%d", m)
+		}
+	}
+	// At m beyond the population the interval collapses to zero.
+	if eps := without.Epsilon(1002); eps != 0 {
+		t.Fatalf("epsilon %v should be 0 past exhaustion", eps)
+	}
+}
+
+func TestEpsilonNOverride(t *testing.T) {
+	s := MustSchedule(100, 10, 0.05, 1, 1_000_000)
+	if a, b := s.Epsilon(100), s.EpsilonN(100, 1_000_000); a != b {
+		t.Fatalf("EpsilonN(s.N) %v != Epsilon %v", b, a)
+	}
+	// Smaller population → smaller epsilon at the same m.
+	if s.EpsilonN(500, 1000) >= s.EpsilonN(500, 1_000_000) {
+		t.Fatal("smaller population should shrink epsilon")
+	}
+}
+
+func TestEpsilonKappaCloseToOne(t *testing.T) {
+	// The paper's footnote: kappa=1.01 behaves nearly identically to
+	// kappa=1 (with natural log) in the regimes that matter.
+	k1 := MustSchedule(100, 10, 0.05, 1, 0)
+	k101 := MustSchedule(100, 10, 0.05, 1.01, 0)
+	for _, m := range []int{100, 10_000, 1_000_000} {
+		a, b := k1.Epsilon(m), k101.Epsilon(m)
+		if b < a {
+			t.Fatalf("kappa=1.01 must be at least as conservative as kappa=1 at m=%d: %v < %v", m, b, a)
+		}
+		if b/a > 1.6 {
+			t.Fatalf("kappa=1 vs 1.01 diverge at m=%d: %v vs %v", m, a, b)
+		}
+	}
+}
+
+func TestEpsilonDelta(t *testing.T) {
+	loose := MustSchedule(100, 10, 0.5, 1, 0)
+	tight := MustSchedule(100, 10, 0.01, 1, 0)
+	for _, m := range []int{2, 100, 10_000} {
+		if tight.Epsilon(m) <= loose.Epsilon(m) {
+			t.Fatalf("smaller delta must widen intervals at m=%d", m)
+		}
+	}
+}
+
+func TestSampleBound(t *testing.T) {
+	s := MustSchedule(100, 10, 0.05, 1, 0)
+	for _, target := range []float64{10, 1, 0.25} {
+		m := s.SampleBound(target)
+		if s.Epsilon(m) >= target {
+			t.Fatalf("Epsilon(SampleBound(%v)=%d) = %v not below target", target, m, s.Epsilon(m))
+		}
+		if m > 1 && s.Epsilon(m-1) < target {
+			t.Fatalf("SampleBound(%v)=%d not minimal", target, m)
+		}
+	}
+}
+
+func TestHoeffdingInverse(t *testing.T) {
+	// HoeffdingSampleSize must return an m whose radius is at most eps.
+	check := func(rawC, rawEps uint16, rawDelta uint8) bool {
+		c := 1 + float64(rawC%1000)
+		eps := c * (0.001 + float64(rawEps%500)/1000)
+		delta := 0.001 + float64(rawDelta)/300
+		m := HoeffdingSampleSize(c, eps, delta)
+		return HoeffdingRadius(c, m, delta) <= eps*(1+1e-9)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHoeffdingRadiusEdge(t *testing.T) {
+	if r := HoeffdingRadius(100, 0, 0.05); r != 100 {
+		t.Fatalf("zero samples should give the domain width, got %v", r)
+	}
+	if m := HoeffdingSampleSize(100, 0, 0.05); m != math.MaxInt32 {
+		t.Fatalf("zero eps should demand unbounded samples, got %d", m)
+	}
+}
+
+func TestSerflingRadius(t *testing.T) {
+	// Serfling tightens Hoeffding and collapses at exhaustion.
+	c, delta := 100.0, 0.05
+	var n int64 = 1000
+	for m := 1; m < 1000; m += 97 {
+		s := SerflingRadius(c, m, n, delta)
+		h := HoeffdingRadius(c, m, delta)
+		if s > h+1e-12 {
+			t.Fatalf("Serfling %v exceeds Hoeffding %v at m=%d", s, h, m)
+		}
+	}
+	if r := SerflingRadius(c, 1000, n, delta); r != 0 {
+		t.Fatalf("radius at exhaustion should be 0, got %v", r)
+	}
+}
+
+// TestAnytimeCoverage is the statistical heart of the package: the ε_m
+// schedule must contain the true mean at *every* round simultaneously with
+// probability at least 1−δ/k. We run many independent without-replacement
+// sample paths over a worst-case-ish two-point population and count paths
+// that ever escape the envelope.
+func TestAnytimeCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("statistical test")
+	}
+	const (
+		k     = 1 // single group: budget is delta itself
+		n     = 2000
+		paths = 400
+	)
+	delta := 0.1
+	s := MustSchedule(1, k, delta, 1, n)
+	// Two-point population with mean 0.5: maximal variance for c=1.
+	pop := make([]float64, n)
+	for i := range pop {
+		if i%2 == 0 {
+			pop[i] = 1
+		}
+	}
+	mu := 0.5
+	violations := 0
+	for p := 0; p < paths; p++ {
+		r := xrand.New(uint64(1000 + p))
+		perm := r.Perm(n)
+		sum := 0.0
+		bad := false
+		for m := 1; m <= n; m++ {
+			sum += pop[perm[m-1]]
+			est := sum / float64(m)
+			if math.Abs(est-mu) > s.Epsilon(m) {
+				bad = true
+				break
+			}
+		}
+		if bad {
+			violations++
+		}
+	}
+	// Allow generous slack over delta*paths: the bound is conservative so
+	// violations should in practice be near zero.
+	if float64(violations) > delta*float64(paths) {
+		t.Fatalf("%d/%d paths escaped the envelope (budget %v)", violations, paths, delta*paths)
+	}
+}
+
+func TestDifficulty(t *testing.T) {
+	if d := Difficulty(100, 1); d != 10_000 {
+		t.Fatalf("difficulty = %v, want 10000", d)
+	}
+	if !math.IsInf(Difficulty(100, 0), 1) {
+		t.Fatal("zero eta should be infinitely hard")
+	}
+}
+
+func TestTheoreticalSampleComplexityMonotone(t *testing.T) {
+	// Harder instances (smaller eta) need more samples.
+	prev := 0.0
+	for _, eta := range []float64{10, 1, 0.1, 0.01} {
+		v := TheoreticalSampleComplexity(100, eta, 10, 0.05)
+		if v <= prev {
+			t.Fatalf("complexity not increasing as eta shrinks: %v after %v", v, prev)
+		}
+		prev = v
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// Adjacency lists, for every group, the groups it must be ordered correctly
+// against — the generalization of the trend-line guarantee to chloropleth
+// (heat-map) visualizations, where §6.1.1 asks only that *nearby regions*
+// be correctly ordered relative to each other. Adjacency[i] holds the
+// indices of group i's neighbours; the relation is symmetrized internally.
+type Adjacency [][]int
+
+// LineAdjacency returns the trend-line adjacency over k groups: each group
+// neighbours its predecessor and successor.
+func LineAdjacency(k int) Adjacency {
+	adj := make(Adjacency, k)
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			adj[i] = append(adj[i], i-1)
+		}
+		if i+1 < k {
+			adj[i] = append(adj[i], i+1)
+		}
+	}
+	return adj
+}
+
+// GridAdjacency returns 4-neighbour adjacency over a rows×cols chloropleth
+// grid; group index r*cols + c is the cell at (r, c).
+func GridAdjacency(rows, cols int) Adjacency {
+	adj := make(Adjacency, rows*cols)
+	idx := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := idx(r, c)
+			if r > 0 {
+				adj[i] = append(adj[i], idx(r-1, c))
+			}
+			if r+1 < rows {
+				adj[i] = append(adj[i], idx(r+1, c))
+			}
+			if c > 0 {
+				adj[i] = append(adj[i], idx(r, c-1))
+			}
+			if c+1 < cols {
+				adj[i] = append(adj[i], idx(r, c+1))
+			}
+		}
+	}
+	return adj
+}
+
+// symmetrized returns a validated, symmetric copy of the adjacency.
+func (a Adjacency) symmetrized(k int) (Adjacency, error) {
+	if len(a) != k {
+		return nil, fmt.Errorf("core: adjacency covers %d groups, universe has %d", len(a), k)
+	}
+	set := make([]map[int]bool, k)
+	for i := range set {
+		set[i] = map[int]bool{}
+	}
+	for i, ns := range a {
+		for _, j := range ns {
+			if j < 0 || j >= k {
+				return nil, fmt.Errorf("core: adjacency of group %d references invalid group %d", i, j)
+			}
+			if j == i {
+				continue
+			}
+			set[i][j] = true
+			set[j][i] = true
+		}
+	}
+	out := make(Adjacency, k)
+	for i, s := range set {
+		for j := range s {
+			out[i] = append(out[i], j)
+		}
+	}
+	return out, nil
+}
+
+// Chloropleth solves the §6.1.1 generalization: estimates whose ordering is
+// correct between every pair of *adjacent* groups (per the given adjacency)
+// with probability at least 1−δ. Trend is the special case of a line graph;
+// heat maps use GridAdjacency or a custom region graph. Groups stay active
+// only while their confidence interval overlaps a neighbour's interval
+// (frozen for settled neighbours), so the effective hardness of group i is
+// min over its neighbours' mean gaps rather than the global η_i.
+func Chloropleth(u *dataset.Universe, rng *xrand.RNG, adj Adjacency, opts Options) (*Result, error) {
+	if err := opts.validate(u); err != nil {
+		return nil, err
+	}
+	k := u.K()
+	neighbours, err := adj.symmetrized(k)
+	if err != nil {
+		return nil, err
+	}
+	sched := newSchedule(u, &opts)
+	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
+
+	estimates := make([]float64, k)
+	active := make([]bool, k)
+	settled := make([]int, k)
+	frozenEps := make([]float64, k)
+
+	for i := 0; i < k; i++ {
+		estimates[i] = sampler.Draw(i)
+		active[i] = true
+	}
+	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
+	numActive := k
+	m := 1
+
+	width := func(i int, liveEps float64) float64 {
+		if active[i] {
+			return liveEps
+		}
+		return frozenEps[i]
+	}
+	neighbourOverlap := func(i int, liveEps float64) bool {
+		wi := width(i, liveEps)
+		iv := interval{estimates[i] - wi, estimates[i] + wi}
+		for _, j := range neighbours[i] {
+			wj := width(j, liveEps)
+			if iv.overlaps(interval{estimates[j] - wj, estimates[j] + wj}) {
+				return true
+			}
+		}
+		return false
+	}
+	settle := func(i, round int, eps float64) {
+		active[i] = false
+		settled[i] = round
+		frozenEps[i] = eps
+		numActive--
+		if opts.OnPartial != nil {
+			opts.OnPartial(i, estimates[i], round)
+		}
+	}
+
+	var eps float64
+	for numActive > 0 {
+		m++
+		var maxN int64
+		if !opts.WithReplacement {
+			maxN = maxActiveSize(u, active)
+		}
+		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
+
+		for i := 0; i < k; i++ {
+			if !active[i] {
+				continue
+			}
+			if !opts.WithReplacement {
+				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
+					settle(i, m, 0)
+					continue
+				}
+			}
+			x := sampler.Draw(i)
+			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
+		}
+
+		var toSettle []int
+		for i := 0; i < k; i++ {
+			if active[i] && !neighbourOverlap(i, eps) {
+				toSettle = append(toSettle, i)
+			}
+		}
+		for _, i := range toSettle {
+			settle(i, m, eps)
+		}
+		if opts.Resolution > 0 && eps < opts.Resolution/4 {
+			for i := 0; i < k; i++ {
+				if active[i] {
+					settle(i, m, eps)
+				}
+			}
+		}
+		if opts.Tracer != nil {
+			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
+		}
+		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
+			res.Capped = true
+			for i := 0; i < k; i++ {
+				if active[i] {
+					settle(i, m, eps)
+				}
+			}
+		}
+	}
+
+	res.Rounds = m
+	res.FinalEpsilon = eps
+	res.TotalSamples = sampler.Total()
+	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
+	return res, nil
+}
+
+// AdjacentPairsCorrect reports whether the estimates order every adjacent
+// pair (per the adjacency) as the truth does, up to resolution r.
+func AdjacentPairsCorrect(estimates, truth []float64, adj Adjacency, r float64) bool {
+	sym, err := adj.symmetrized(len(truth))
+	if err != nil {
+		return false
+	}
+	for i, ns := range sym {
+		for _, j := range ns {
+			d := truth[i] - truth[j]
+			if d > r && !(estimates[i] > estimates[j]) {
+				return false
+			}
+			if d < -r && !(estimates[i] < estimates[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestLineAdjacency(t *testing.T) {
+	adj := LineAdjacency(4)
+	if len(adj[0]) != 1 || adj[0][0] != 1 {
+		t.Fatalf("endpoint adjacency %v", adj[0])
+	}
+	if len(adj[2]) != 2 {
+		t.Fatalf("interior adjacency %v", adj[2])
+	}
+}
+
+func TestGridAdjacency(t *testing.T) {
+	adj := GridAdjacency(2, 3)
+	if len(adj) != 6 {
+		t.Fatalf("cells %d", len(adj))
+	}
+	// Corner (0,0) has 2 neighbours; edge (0,1) has 3.
+	if len(adj[0]) != 2 || len(adj[1]) != 3 {
+		t.Fatalf("corner/edge degrees %d/%d", len(adj[0]), len(adj[1]))
+	}
+	// Neighbour sets are consistent: (0,0) ~ (0,1) and (1,0).
+	want := map[int]bool{1: true, 3: true}
+	for _, n := range adj[0] {
+		if !want[n] {
+			t.Fatalf("corner neighbours %v", adj[0])
+		}
+	}
+}
+
+func TestChloroplethEqualsTrendOnLine(t *testing.T) {
+	means := []float64{20, 40, 60, 40.5, 20.5}
+	u1 := virtUniverse(means, 1_000_000)
+	u2 := virtUniverse(means, 1_000_000)
+	tr, err := Trend(u1, xrand.New(3), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Chloropleth(u2, xrand.New(3), LineAdjacency(len(means)), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed, same neighbour structure: identical runs.
+	if tr.TotalSamples != ch.TotalSamples {
+		t.Fatalf("line chloropleth %d differs from trend %d", ch.TotalSamples, tr.TotalSamples)
+	}
+	if !AdjacentPairsCorrect(ch.Estimates, means, LineAdjacency(len(means)), 0) {
+		t.Fatal("adjacent ordering violated")
+	}
+}
+
+func TestChloroplethGrid(t *testing.T) {
+	// 2x3 grid of regions. Diagonal cells (0,0)=30 and (1,1)=30.4 nearly
+	// tie but are NOT adjacent, so the run must not pay to separate them.
+	means := []float64{30, 60, 90, 75, 30.4, 55}
+	u := virtUniverse(means, 10_000_000)
+	adj := GridAdjacency(2, 3)
+	opts := DefaultOptions()
+	opts.MaxRounds = 1 << 21
+	res, err := Chloropleth(u, xrand.New(4), adj, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Capped {
+		t.Fatal("grid run capped: paid for a non-adjacent tie")
+	}
+	if !AdjacentPairsCorrect(res.Estimates, means, adj, 0) {
+		t.Fatalf("grid ordering violated: %v", res.Estimates)
+	}
+	// Full ordering would be vastly more expensive.
+	full, err := IFocus(virtUniverse(means, 10_000_000), xrand.New(4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalSamples*4 >= full.TotalSamples {
+		t.Fatalf("chloropleth (%d) should be much cheaper than full (%d)", res.TotalSamples, full.TotalSamples)
+	}
+}
+
+func TestChloroplethValidation(t *testing.T) {
+	u := virtUniverse([]float64{10, 20}, 1000)
+	if _, err := Chloropleth(u, xrand.New(1), Adjacency{{1}}, DefaultOptions()); err == nil {
+		t.Fatal("short adjacency accepted")
+	}
+	if _, err := Chloropleth(u, xrand.New(1), Adjacency{{5}, {}}, DefaultOptions()); err == nil {
+		t.Fatal("out-of-range neighbour accepted")
+	}
+}
+
+func TestAdjacentPairsCorrect(t *testing.T) {
+	truth := []float64{10, 20, 30}
+	adj := LineAdjacency(3)
+	if !AdjacentPairsCorrect([]float64{1, 2, 3}, truth, adj, 0) {
+		t.Fatal("correct rejected")
+	}
+	if AdjacentPairsCorrect([]float64{2, 1, 3}, truth, adj, 0) {
+		t.Fatal("broken adjacent pair accepted")
+	}
+	// Non-adjacent violation (0 vs 2) is permitted.
+	disconnected := Adjacency{{1}, {0}, {}}
+	if !AdjacentPairsCorrect([]float64{5, 6, 0}, truth, disconnected, 0) {
+		t.Fatal("non-adjacent pair should not matter")
+	}
+}

@@ -1,0 +1,253 @@
+// Package core implements the paper's query-processing algorithms:
+//
+//   - IFOCUS (Algorithm 1) and its resolution variant IFOCUS-R — the main
+//     contribution: round-based sampling with anytime confidence intervals
+//     that stops sampling a group as soon as its interval separates from all
+//     other active groups' intervals.
+//   - IREFINE / IREFINE-R (Algorithm 3) — the interval-halving alternative.
+//   - ROUNDROBIN / ROUNDROBIN-R — conventional stratified sampling adapted
+//     to stop under the same ordering guarantee; the paper's baseline.
+//   - SCAN — the exact full-scan baseline.
+//   - Every §6 extension: trends, top-t, allowed mistakes, value guarantees,
+//     partial results, SUM (known and unknown group sizes), COUNT, multiple
+//     aggregates, and the no-index fallback.
+//
+// All algorithms guarantee that, with probability at least 1−δ, the returned
+// estimates ν₁..ν_k are ordered identically to the true means µ₁..µ_k
+// (exactly for Problem 1; up to the resolution r for Problem 2).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/conc"
+	"repro/internal/dataset"
+)
+
+// Options configures a run of any ordering-guaranteed algorithm.
+// The zero value is not valid; start from DefaultOptions.
+type Options struct {
+	// Delta is the permitted probability that the returned ordering is
+	// wrong (the user-specified failure probability δ).
+	Delta float64
+	// Resolution is the minimum visual resolution r of Problem 2. Zero
+	// requests the strict ordering guarantee of Problem 1. When positive,
+	// sampling stops as soon as ε < r/4 (paper §3.6, "Visual Resolution
+	// Extension") and groups closer than r may be ordered either way.
+	Resolution float64
+	// Kappa is the geometric spacing κ of the anytime union bound. The
+	// paper sets κ=1 in all experiments (footnote †); values slightly above
+	// 1 (e.g. 1.01) behave near-identically.
+	Kappa float64
+	// WithReplacement selects sampling with replacement (§3.6). The default
+	// (false) samples without replacement and uses the Hoeffding–Serfling
+	// finite-population correction; with replacement the correction is
+	// dropped and group sizes need not be known.
+	WithReplacement bool
+	// HeuristicFactor divides every confidence interval by the given factor
+	// (>1 shrinks intervals faster than theory allows). Factor 1 is the
+	// pure algorithm. Used only by the Figure 5 accuracy-vs-heuristic
+	// experiments; any factor above 1 voids the correctness guarantee.
+	HeuristicFactor float64
+	// MaxRounds caps the number of sampling rounds as a safety valve for
+	// adversarial inputs with exactly equal means in with-replacement mode
+	// (where the algorithm would otherwise not terminate). Zero means no
+	// cap. When the cap triggers the result reports Capped=true and the
+	// guarantee is void.
+	MaxRounds int
+	// Tracer, when non-nil, observes every round (used by the convergence
+	// experiments behind Figures 5(c) and 6(a)).
+	Tracer Tracer
+	// OnPartial, when non-nil, is invoked the moment a group's estimate
+	// settles (it becomes inactive), implementing the partial-results
+	// extension of §6.2.2. Arguments are the group index, its estimate, and
+	// the round at which it settled.
+	OnPartial func(group int, estimate float64, round int)
+}
+
+// DefaultOptions mirrors the paper's default experimental setup:
+// δ=0.05, κ=1, sampling without replacement, no resolution relaxation.
+func DefaultOptions() Options {
+	return Options{
+		Delta:           0.05,
+		Kappa:           1,
+		HeuristicFactor: 1,
+	}
+}
+
+// validate normalizes and checks options against the universe.
+func (o *Options) validate(u *dataset.Universe) error {
+	if u == nil || u.K() == 0 {
+		return fmt.Errorf("core: universe has no groups")
+	}
+	if o.Delta <= 0 || o.Delta >= 1 {
+		return fmt.Errorf("core: delta must be in (0,1), got %v", o.Delta)
+	}
+	if o.Kappa == 0 {
+		o.Kappa = 1
+	}
+	if o.Kappa < 1 {
+		return fmt.Errorf("core: kappa must be >= 1, got %v", o.Kappa)
+	}
+	if o.HeuristicFactor == 0 {
+		o.HeuristicFactor = 1
+	}
+	if o.HeuristicFactor < 1 {
+		return fmt.Errorf("core: heuristic factor must be >= 1, got %v", o.HeuristicFactor)
+	}
+	if o.Resolution < 0 {
+		return fmt.Errorf("core: resolution must be non-negative, got %v", o.Resolution)
+	}
+	if !o.WithReplacement && u.MaxSize() == 0 {
+		return fmt.Errorf("core: without-replacement sampling requires known group sizes")
+	}
+	return nil
+}
+
+// Tracer observes algorithm execution round by round.
+type Tracer interface {
+	// OnRound is called after each sampling round with the round number m,
+	// the current interval half-width eps, the active flags, the current
+	// estimates, and the cumulative sample count.
+	OnRound(m int, eps float64, active []bool, estimates []float64, totalSamples int64)
+}
+
+// TracerFunc adapts a function to the Tracer interface.
+type TracerFunc func(m int, eps float64, active []bool, estimates []float64, totalSamples int64)
+
+// OnRound implements Tracer.
+func (f TracerFunc) OnRound(m int, eps float64, active []bool, estimates []float64, totalSamples int64) {
+	f(m, eps, active, estimates, totalSamples)
+}
+
+// Result reports the outcome of a sampling run.
+type Result struct {
+	// Estimates are the returned ν₁..ν_k, index-aligned with the universe.
+	Estimates []float64
+	// SampleCounts are the per-group m_i.
+	SampleCounts []int64
+	// TotalSamples is the paper's sample complexity C = Σ m_i.
+	TotalSamples int64
+	// Rounds is the number of sampling rounds executed (max m).
+	Rounds int
+	// SettledRound[i] is the round at which group i became inactive.
+	SettledRound []int
+	// FinalEpsilon is the interval half-width at termination.
+	FinalEpsilon float64
+	// Capped reports that MaxRounds terminated the run early; the ordering
+	// guarantee does not hold in that case.
+	Capped bool
+}
+
+// SampledFraction returns TotalSamples divided by the universe size, the
+// "Percentage Sampled" y-axis of Figures 3, 6 and 7 (as a fraction; multiply
+// by 100 for percent). Returns NaN when the universe size is unknown.
+func (r *Result) SampledFraction(u *dataset.Universe) float64 {
+	total := u.TotalSize()
+	if total == 0 {
+		return math.NaN()
+	}
+	return float64(r.TotalSamples) / float64(total)
+}
+
+// interval is a closed confidence interval around an estimate.
+type interval struct {
+	lo, hi float64
+}
+
+func (iv interval) overlaps(other interval) bool {
+	return iv.lo <= other.hi && other.lo <= iv.hi
+}
+
+// isolatedEqualWidth reports, for each listed index, whether its interval
+// [est−eps, est+eps] is disjoint from every other listed index's interval.
+// Because all intervals share the same half-width, index i is isolated iff
+// the gap between its estimate and both sorted neighbours exceeds 2ε.
+// Runs in O(n log n).
+func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolated []bool) {
+	n := len(indices)
+	if n <= 1 {
+		for _, idx := range indices {
+			isolated[idx] = true
+		}
+		return
+	}
+	order := make([]int, n)
+	copy(order, indices)
+	sort.Slice(order, func(a, b int) bool { return estimates[order[a]] < estimates[order[b]] })
+	for pos, idx := range order {
+		ok := true
+		if pos > 0 && estimates[idx]-estimates[order[pos-1]] <= 2*eps {
+			ok = false
+		}
+		if pos < n-1 && estimates[order[pos+1]]-estimates[idx] <= 2*eps {
+			ok = false
+		}
+		isolated[idx] = ok
+	}
+}
+
+// isolatedGeneral reports, for each index present in ivs, whether its
+// interval is disjoint from all others. Used by IREFINE, whose per-group
+// widths differ. O(n²) with n = number of groups, which the paper notes is
+// small (typically under 100).
+func isolatedGeneral(ivs map[int]interval, isolated []bool) {
+	for i := range isolated {
+		isolated[i] = false
+	}
+	for i, a := range ivs {
+		ok := true
+		for j, b := range ivs {
+			if i == j {
+				continue
+			}
+			if a.overlaps(b) {
+				ok = false
+				break
+			}
+		}
+		isolated[i] = ok
+	}
+}
+
+// newSchedule builds the ε schedule for a run, deriving the population term
+// from the universe per the sampling mode.
+func newSchedule(u *dataset.Universe, opts *Options) *conc.Schedule {
+	var n int64
+	if !opts.WithReplacement {
+		n = u.MaxSize()
+	}
+	return conc.MustSchedule(u.C, u.K(), opts.Delta, opts.Kappa, n)
+}
+
+// maxActiveSize returns max_{i active} n_i, the population bound Algorithm 1
+// feeds into the Serfling term. Returns 0 when any active size is unknown.
+func maxActiveSize(u *dataset.Universe, active []bool) int64 {
+	var max int64
+	for i, g := range u.Groups {
+		if !active[i] {
+			continue
+		}
+		n := g.Size()
+		if n == 0 {
+			return 0
+		}
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// activeIndices appends the indices of set flags to dst and returns it.
+func activeIndices(active []bool, dst []int) []int {
+	dst = dst[:0]
+	for i, a := range active {
+		if a {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// CountUnknownSizes solves the COUNT case of §6.3.2 when per-group tuple
+// counts are unknown: it estimates the fractional sizes s_i with correct
+// ordering, by running the normalized-sum machinery with the value sample
+// fixed at 1 — each draw is then just the membership indicator z, a
+// Bernoulli(s_i) sample in [0, 1].
+//
+// Result.Estimates holds the fractional sizes; multiply by the total table
+// size, when known, to recover absolute counts.
+func CountUnknownSizes(u *dataset.Universe, est dataset.FractionEstimator, rng *xrand.RNG, opts Options) (*Result, error) {
+	if est == nil {
+		return nil, fmt.Errorf("core: CountUnknownSizes requires a fraction estimator")
+	}
+	// Replace every group's value stream with the constant 1 so each
+	// normalized-sum draw x·z reduces to the membership indicator z, and
+	// run the schedule with c = 1 (fractions live in [0, 1]).
+	ones := make([]dataset.Group, u.K())
+	for i, g := range u.Groups {
+		ones[i] = oneGroup{g}
+	}
+	unit := &dataset.Universe{Groups: ones, C: 1}
+	return SumUnknownSizes(unit, est, rng, opts)
+}
+
+// oneGroup wraps a group so every draw returns the constant 1, turning the
+// SUM estimator into a COUNT estimator. TrueMean is the fraction-weighted
+// truth only when combined with the membership indicator, so it reports 1.
+type oneGroup struct {
+	dataset.Group
+}
+
+// Draw returns 1 for every tuple.
+func (oneGroup) Draw(*xrand.RNG) float64 { return 1 }
+
+// TrueMean of the constant-1 stream is 1.
+func (oneGroup) TrueMean() float64 { return 1 }
+
+// CountKnownSizes handles the trivial case: when tuple counts are known the
+// COUNT visualization is exact without sampling.
+func CountKnownSizes(u *dataset.Universe) (*Result, error) {
+	if u == nil || u.K() == 0 {
+		return nil, fmt.Errorf("core: universe has no groups")
+	}
+	k := u.K()
+	estimates := make([]float64, k)
+	for i, g := range u.Groups {
+		n := g.Size()
+		if n == 0 {
+			return nil, fmt.Errorf("core: group %q size unknown; use CountUnknownSizes", g.Name())
+		}
+		estimates[i] = float64(n)
+	}
+	settled := make([]int, k)
+	return &Result{
+		Estimates:    estimates,
+		SampleCounts: make([]int64, k),
+		SettledRound: settled,
+		Rounds:       0,
+	}, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// WithMistakes solves Problem 5 (AVG-ORDER-MISTAKES): the analyst accepts
+// that up to a (1−gamma) fraction of the pairwise comparisons may be wrong,
+// in exchange for faster termination. The algorithm is IFOCUS with one
+// extra exit: after each round it counts the pairs whose relative order is
+// already certain — pairs whose confidence intervals (frozen for settled
+// groups, live for active ones) are disjoint — and stops as soon as that
+// fraction reaches gamma, abandoning the hardest comparisons.
+//
+// gamma = 1 requires every pair certain, which is plain IFOCUS.
+func WithMistakes(u *dataset.Universe, rng *xrand.RNG, gamma float64, opts Options) (*Result, error) {
+	if gamma <= 0 || gamma > 1 {
+		return nil, fmt.Errorf("core: mistake threshold gamma must be in (0,1], got %v", gamma)
+	}
+	if err := opts.validate(u); err != nil {
+		return nil, err
+	}
+	k := u.K()
+	totalPairs := k * (k - 1) / 2
+	if totalPairs == 0 {
+		return IFocus(u, rng, opts)
+	}
+	needed := int(float64(totalPairs) * gamma)
+
+	sched := newSchedule(u, &opts)
+	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
+
+	estimates := make([]float64, k)
+	active := make([]bool, k)
+	settled := make([]int, k)
+	frozenEps := make([]float64, k)
+	isolated := make([]bool, k)
+	actIdx := make([]int, 0, k)
+
+	for i := 0; i < k; i++ {
+		estimates[i] = sampler.Draw(i)
+		active[i] = true
+	}
+	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
+	numActive := k
+	m := 1
+
+	settle := func(i, round int, eps float64, notify bool) {
+		active[i] = false
+		settled[i] = round
+		frozenEps[i] = eps
+		numActive--
+		if notify && opts.OnPartial != nil {
+			opts.OnPartial(i, estimates[i], round)
+		}
+	}
+
+	// certainPairs counts pairs whose intervals are disjoint right now.
+	width := func(i int, liveEps float64) float64 {
+		if active[i] {
+			return liveEps
+		}
+		return frozenEps[i]
+	}
+	certainPairs := func(liveEps float64) int {
+		certain := 0
+		for i := 0; i < k; i++ {
+			wi := width(i, liveEps)
+			for j := i + 1; j < k; j++ {
+				wj := width(j, liveEps)
+				lo1, hi1 := estimates[i]-wi, estimates[i]+wi
+				lo2, hi2 := estimates[j]-wj, estimates[j]+wj
+				if hi1 < lo2 || hi2 < lo1 {
+					certain++
+				}
+			}
+		}
+		return certain
+	}
+
+	var eps float64
+	for numActive > 0 {
+		m++
+		var maxN int64
+		if !opts.WithReplacement {
+			maxN = maxActiveSize(u, active)
+		}
+		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
+
+		for i := 0; i < k; i++ {
+			if !active[i] {
+				continue
+			}
+			if !opts.WithReplacement {
+				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
+					settle(i, m, 0, true)
+					continue
+				}
+			}
+			x := sampler.Draw(i)
+			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
+		}
+
+		actIdx = activeIndices(active, actIdx)
+		isolatedEqualWidth(actIdx, estimates, eps, isolated)
+		for _, i := range actIdx {
+			if isolated[i] {
+				settle(i, m, eps, true)
+			}
+		}
+		if opts.Resolution > 0 && eps < opts.Resolution/4 {
+			for _, i := range actIdx {
+				if active[i] {
+					settle(i, m, eps, true)
+				}
+			}
+		}
+		if numActive > 0 && certainPairs(eps) >= needed {
+			// Quota met: abandon the remaining contended groups at their
+			// current estimates (their pairs are the permitted mistakes,
+			// so no partial-result notification fires for them).
+			for i := 0; i < k; i++ {
+				if active[i] {
+					settle(i, m, eps, false)
+				}
+			}
+		}
+		if opts.Tracer != nil {
+			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
+		}
+		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
+			res.Capped = true
+			for i := 0; i < k; i++ {
+				if active[i] {
+					settle(i, m, eps, false)
+				}
+			}
+		}
+	}
+
+	res.Rounds = m
+	res.FinalEpsilon = eps
+	res.TotalSamples = sampler.Total()
+	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
+	return res, nil
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// RoundRobin is the paper's baseline: conventional round-robin stratified
+// sampling, adapted so that it terminates with the same ordering guarantee
+// as IFOCUS. Every round takes one sample from *every* group — active or
+// not — and the run ends only when no two groups' confidence intervals
+// overlap (or, with opts.Resolution > 0 — ROUNDROBIN-R — when ε < r/4).
+//
+// The confidence-interval machinery is identical to IFOCUS; the only
+// difference is that sampling is never focused on the contentious groups,
+// which is exactly the waste the paper quantifies.
+func RoundRobin(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
+	if err := opts.validate(u); err != nil {
+		return nil, err
+	}
+	k := u.K()
+	sched := newSchedule(u, &opts)
+	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
+
+	estimates := make([]float64, k)
+	exhausted := make([]bool, k)
+	settled := make([]int, k)
+	isolated := make([]bool, k)
+	all := make([]int, k)
+	for i := range all {
+		all[i] = i
+	}
+
+	for i := 0; i < k; i++ {
+		estimates[i] = sampler.Draw(i)
+	}
+	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
+
+	m := 1
+	var eps float64
+	allFlags := make([]bool, k)
+	for i := range allFlags {
+		allFlags[i] = true
+	}
+	if opts.Tracer != nil {
+		opts.Tracer.OnRound(m, sched.Epsilon(m)/opts.HeuristicFactor, allFlags, estimates, sampler.Total())
+	}
+	for {
+		m++
+		var maxN int64
+		if !opts.WithReplacement {
+			maxN = u.MaxSize()
+		}
+		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
+
+		for i := 0; i < k; i++ {
+			if exhausted[i] {
+				continue
+			}
+			if !opts.WithReplacement {
+				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
+					// The group's population is fully consumed; its running
+					// mean is exact and further draws add nothing.
+					exhausted[i] = true
+					continue
+				}
+			}
+			x := sampler.Draw(i)
+			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
+		}
+
+		isolatedEqualWidth(all, estimates, eps, isolated)
+		done := true
+		for i := 0; i < k; i++ {
+			if !isolated[i] && !exhausted[i] {
+				done = false
+				break
+			}
+		}
+		if opts.Resolution > 0 && eps < opts.Resolution/4 {
+			done = true
+		}
+		if opts.Tracer != nil {
+			opts.Tracer.OnRound(m, eps, allFlags, estimates, sampler.Total())
+		}
+		if done {
+			break
+		}
+		if opts.MaxRounds > 0 && m >= opts.MaxRounds {
+			res.Capped = true
+			break
+		}
+	}
+
+	for i := range settled {
+		settled[i] = m
+	}
+	res.Rounds = m
+	res.FinalEpsilon = eps
+	res.TotalSamples = sampler.Total()
+	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
+	return res, nil
+}

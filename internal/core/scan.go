@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+)
+
+// Scan computes the exact group means by visiting every element of every
+// group — the approach a traditional execution engine takes and the
+// slowest baseline in the paper's Figure 4. It requires every group to be
+// scannable (materialized).
+func Scan(u *dataset.Universe) (*Result, error) {
+	if u == nil || u.K() == 0 {
+		return nil, fmt.Errorf("core: universe has no groups")
+	}
+	k := u.K()
+	estimates := make([]float64, k)
+	counts := make([]int64, k)
+	var total int64
+	for i, g := range u.Groups {
+		sc, ok := g.(dataset.Scannable)
+		if !ok {
+			return nil, fmt.Errorf("core: group %q is not scannable; SCAN needs materialized data", g.Name())
+		}
+		sum := 0.0
+		n := sc.Scan(func(v float64) { sum += v })
+		if n == 0 {
+			return nil, fmt.Errorf("core: group %q is empty", g.Name())
+		}
+		estimates[i] = sum / float64(n)
+		counts[i] = n
+		total += n
+	}
+	settled := make([]int, k)
+	for i := range settled {
+		settled[i] = 1
+	}
+	return &Result{
+		Estimates:    estimates,
+		SampleCounts: counts,
+		TotalSamples: total,
+		Rounds:       1,
+		SettledRound: settled,
+	}, nil
+}

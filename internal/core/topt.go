@@ -1,0 +1,227 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// Membership classifies a group's relation to the top-t set.
+type Membership int8
+
+// Membership values.
+const (
+	// MemberUnknown means the confidence intervals cannot yet decide.
+	MemberUnknown Membership = iota
+	// MemberIn means the group is certainly among the top t.
+	MemberIn
+	// MemberOut means the group is certainly not among the top t.
+	MemberOut
+)
+
+// String returns a short label for the membership state.
+func (m Membership) String() string {
+	switch m {
+	case MemberIn:
+		return "in"
+	case MemberOut:
+		return "out"
+	default:
+		return "unknown"
+	}
+}
+
+// TopTResult extends Result with the membership classification of
+// the top-t computation.
+type TopTResult struct {
+	Result
+	// Members holds the indices of the top-t groups, ordered from largest
+	// estimate down.
+	Members []int
+	// Membership is the final classification of every group.
+	Membership []Membership
+}
+
+// TopT solves Problem 4 (AVG-ORDER-TOP-t): identify the t groups with the
+// largest true means and order them correctly among themselves, with
+// probability at least 1−δ. Groups stay active only while (a) their top-t
+// membership is uncertain, or (b) they are certain members whose interval
+// still overlaps another potential member's interval (so their relative
+// order within the top-t is unresolved). Certain non-members stop being
+// sampled immediately — the big saving when k is large and t small.
+func TopT(u *dataset.Universe, rng *xrand.RNG, t int, opts Options) (*TopTResult, error) {
+	if err := opts.validate(u); err != nil {
+		return nil, err
+	}
+	k := u.K()
+	if t <= 0 || t > k {
+		return nil, fmt.Errorf("core: top-t requires 1 <= t <= k, got t=%d with k=%d", t, k)
+	}
+	sched := newSchedule(u, &opts)
+	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
+
+	estimates := make([]float64, k)
+	active := make([]bool, k)
+	settled := make([]int, k)
+	frozenEps := make([]float64, k)
+	membership := make([]Membership, k)
+
+	for i := 0; i < k; i++ {
+		estimates[i] = sampler.Draw(i)
+		active[i] = true
+	}
+	res := &TopTResult{
+		Result:     Result{Estimates: estimates, SettledRound: settled, Rounds: 1},
+		Membership: membership,
+	}
+	numActive := k
+	m := 1
+
+	width := func(i int, liveEps float64) float64 {
+		if active[i] {
+			return liveEps
+		}
+		return frozenEps[i]
+	}
+	settle := func(i, round int, eps float64) {
+		active[i] = false
+		settled[i] = round
+		frozenEps[i] = eps
+		numActive--
+		if opts.OnPartial != nil {
+			opts.OnPartial(i, estimates[i], round)
+		}
+	}
+
+	var eps float64
+	for numActive > 0 {
+		m++
+		var maxN int64
+		if !opts.WithReplacement {
+			maxN = maxActiveSize(u, active)
+		}
+		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
+
+		for i := 0; i < k; i++ {
+			if !active[i] {
+				continue
+			}
+			if !opts.WithReplacement {
+				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
+					settle(i, m, 0)
+					continue
+				}
+			}
+			x := sampler.Draw(i)
+			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
+		}
+
+		// Classify membership from the current intervals. certainlyAbove[i]
+		// counts groups whose entire interval lies above group i's interval;
+		// possiblyAbove[i] counts groups that *might* lie above it.
+		los := make([]float64, k)
+		his := make([]float64, k)
+		for i := 0; i < k; i++ {
+			w := width(i, eps)
+			los[i], his[i] = estimates[i]-w, estimates[i]+w
+		}
+		for i := 0; i < k; i++ {
+			if membership[i] != MemberUnknown {
+				continue
+			}
+			certainlyAbove, possiblyAbove := 0, 0
+			for j := 0; j < k; j++ {
+				if j == i {
+					continue
+				}
+				if los[j] > his[i] {
+					certainlyAbove++
+				}
+				if his[j] > los[i] {
+					possiblyAbove++
+				}
+			}
+			if certainlyAbove >= t {
+				membership[i] = MemberOut
+			} else if possiblyAbove <= t-1 {
+				membership[i] = MemberIn
+			}
+		}
+
+		// Settle: certain non-members stop immediately; certain members stop
+		// once their interval is disjoint from every other potential
+		// member's interval (their in-set rank is then fixed).
+		var toSettle []int
+		for i := 0; i < k; i++ {
+			if !active[i] {
+				continue
+			}
+			switch membership[i] {
+			case MemberOut:
+				toSettle = append(toSettle, i)
+			case MemberIn:
+				disjoint := true
+				for j := 0; j < k; j++ {
+					if j == i || membership[j] == MemberOut {
+						continue
+					}
+					if los[i] <= his[j] && los[j] <= his[i] {
+						disjoint = false
+						break
+					}
+				}
+				if disjoint {
+					toSettle = append(toSettle, i)
+				}
+			}
+		}
+		for _, i := range toSettle {
+			settle(i, m, eps)
+		}
+		if opts.Resolution > 0 && eps < opts.Resolution/4 {
+			for i := 0; i < k; i++ {
+				if active[i] {
+					settle(i, m, eps)
+				}
+			}
+		}
+		if opts.Tracer != nil {
+			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
+		}
+		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
+			res.Capped = true
+			for i := 0; i < k; i++ {
+				if active[i] {
+					settle(i, m, eps)
+				}
+			}
+		}
+	}
+
+	// Any group still unclassified (possible under the resolution or cap
+	// exits) is assigned by final estimate.
+	rank := Ranking(estimates)
+	taken := 0
+	for _, i := range rank {
+		if taken < t && membership[i] != MemberOut {
+			if membership[i] == MemberUnknown {
+				membership[i] = MemberIn
+			}
+			taken++
+		} else if membership[i] == MemberUnknown {
+			membership[i] = MemberOut
+		}
+	}
+	for _, i := range rank {
+		if membership[i] == MemberIn && len(res.Members) < t {
+			res.Members = append(res.Members, i)
+		}
+	}
+
+	res.Rounds = m
+	res.FinalEpsilon = eps
+	res.TotalSamples = sampler.Total()
+	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
+	return res, nil
+}

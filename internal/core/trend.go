@@ -1,0 +1,131 @@
+package core
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// Trend solves Problem 3 (AVG-ORDER-TRENDS): when the x-axis is ordinal
+// (e.g. time) only *adjacent* pairs of groups need to be ordered correctly,
+// which is the guarantee a trend line or chloropleth needs. The algorithm is
+// IFOCUS with the activity criterion relaxed: a group stays active only
+// while its confidence interval overlaps the interval of a neighbouring
+// group (i−1 or i+1). Inactive neighbours contribute their frozen intervals,
+// so a late-settling group still cannot cross a settled neighbour.
+//
+// The effective hardness drops from η_i = min over all groups to
+// η*_i = min(τ_{i−1,i}, τ_{i,i+1}), typically a large saving when many
+// non-adjacent groups have similar means.
+func Trend(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
+	if err := opts.validate(u); err != nil {
+		return nil, err
+	}
+	k := u.K()
+	sched := newSchedule(u, &opts)
+	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
+
+	estimates := make([]float64, k)
+	active := make([]bool, k)
+	settled := make([]int, k)
+	// frozenEps[i] is the interval half-width at which group i settled; for
+	// active groups the shared live ε applies instead.
+	frozenEps := make([]float64, k)
+
+	for i := 0; i < k; i++ {
+		estimates[i] = sampler.Draw(i)
+		active[i] = true
+	}
+	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
+	numActive := k
+	m := 1
+
+	width := func(i int, liveEps float64) float64 {
+		if active[i] {
+			return liveEps
+		}
+		return frozenEps[i]
+	}
+	neighbourOverlap := func(i int, liveEps float64) bool {
+		wi := width(i, liveEps)
+		iv := interval{estimates[i] - wi, estimates[i] + wi}
+		for _, j := range [2]int{i - 1, i + 1} {
+			if j < 0 || j >= k {
+				continue
+			}
+			wj := width(j, liveEps)
+			if iv.overlaps(interval{estimates[j] - wj, estimates[j] + wj}) {
+				return true
+			}
+		}
+		return false
+	}
+	settle := func(i, round int, eps float64) {
+		active[i] = false
+		settled[i] = round
+		frozenEps[i] = eps
+		numActive--
+		if opts.OnPartial != nil {
+			opts.OnPartial(i, estimates[i], round)
+		}
+	}
+
+	var eps float64
+	for numActive > 0 {
+		m++
+		var maxN int64
+		if !opts.WithReplacement {
+			maxN = maxActiveSize(u, active)
+		}
+		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
+
+		for i := 0; i < k; i++ {
+			if !active[i] {
+				continue
+			}
+			if !opts.WithReplacement {
+				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
+					settle(i, m, 0)
+					continue
+				}
+			}
+			x := sampler.Draw(i)
+			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
+		}
+
+		// Snapshot the active flags so settle order within the round cannot
+		// change the outcome of the neighbour checks.
+		var toSettle []int
+		for i := 0; i < k; i++ {
+			if active[i] && !neighbourOverlap(i, eps) {
+				toSettle = append(toSettle, i)
+			}
+		}
+		for _, i := range toSettle {
+			settle(i, m, eps)
+		}
+		if opts.Resolution > 0 && eps < opts.Resolution/4 {
+			for i := 0; i < k; i++ {
+				if active[i] {
+					settle(i, m, eps)
+				}
+			}
+		}
+		if opts.Tracer != nil {
+			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
+		}
+		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
+			res.Capped = true
+			for i := 0; i < k; i++ {
+				if active[i] {
+					settle(i, m, eps)
+				}
+			}
+		}
+	}
+
+	res.Rounds = m
+	res.FinalEpsilon = eps
+	res.TotalSamples = sampler.Total()
+	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
+	return res, nil
+}

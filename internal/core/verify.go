@@ -1,0 +1,96 @@
+package core
+
+import "math"
+
+// CorrectOrdering reports whether the estimates order every pair of groups
+// exactly as the true means do (the correct ordering property of §2.2).
+// Pairs of exactly equal true means are unordered and always acceptable.
+func CorrectOrdering(estimates, truth []float64) bool {
+	return IncorrectPairs(estimates, truth, 0) == 0
+}
+
+// ResolutionCorrect reports whether the estimates satisfy the relaxed
+// ordering property of Problem 2 at resolution r: only pairs whose true
+// means differ by more than r must be ordered correctly.
+func ResolutionCorrect(estimates, truth []float64, r float64) bool {
+	return IncorrectPairs(estimates, truth, r) == 0
+}
+
+// IncorrectPairs counts the pairs (i, j) that violate the ordering property
+// at resolution r: pairs with |µ_i − µ_j| > r whose estimates are ordered
+// the other way (or tied). r = 0 gives the strict Problem 1 count used by
+// Figure 6(a).
+func IncorrectPairs(estimates, truth []float64, r float64) int {
+	bad := 0
+	for i := range truth {
+		for j := i + 1; j < len(truth); j++ {
+			if math.Abs(truth[i]-truth[j]) <= r {
+				continue
+			}
+			if truth[i] < truth[j] && !(estimates[i] < estimates[j]) {
+				bad++
+			}
+			if truth[i] > truth[j] && !(estimates[i] > estimates[j]) {
+				bad++
+			}
+		}
+	}
+	return bad
+}
+
+// AdjacentCorrect reports whether the estimates order every *adjacent* pair
+// (i, i+1) as the true means do — the trend-line property of Problem 3.
+// Adjacent pairs with true means within r of each other are exempt.
+func AdjacentCorrect(estimates, truth []float64, r float64) bool {
+	for i := 0; i+1 < len(truth); i++ {
+		if math.Abs(truth[i]-truth[i+1]) <= r {
+			continue
+		}
+		if truth[i] < truth[i+1] && !(estimates[i] < estimates[i+1]) {
+			return false
+		}
+		if truth[i] > truth[i+1] && !(estimates[i] > estimates[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Ranking returns the indices of the estimates sorted descending by value:
+// Ranking(ν)[0] is the group with the largest estimate.
+func Ranking(estimates []float64) []int {
+	idx := make([]int, len(estimates))
+	for i := range idx {
+		idx[i] = i
+	}
+	// Insertion sort keeps this allocation-free beyond idx and is plenty
+	// for the small k of visualizations.
+	for i := 1; i < len(idx); i++ {
+		for j := i; j > 0 && estimates[idx[j]] > estimates[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	return idx
+}
+
+// TopTCorrect reports whether the top t groups by estimate are exactly the
+// top t groups by true mean, in the correct order. Ties in the truth within
+// resolution r are acceptable in either order.
+func TopTCorrect(estimates, truth []float64, t int, r float64) bool {
+	if t > len(truth) {
+		t = len(truth)
+	}
+	est := Ranking(estimates)[:t]
+	tru := Ranking(truth)[:t]
+	for pos := 0; pos < t; pos++ {
+		if est[pos] == tru[pos] {
+			continue
+		}
+		// A swap is fine if the true means involved are within r.
+		if math.Abs(truth[est[pos]]-truth[tru[pos]]) <= r {
+			continue
+		}
+		return false
+	}
+	return true
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+)
+
+func TestCorrectOrderingBasic(t *testing.T) {
+	truth := []float64{10, 20, 30}
+	if !CorrectOrdering([]float64{1, 2, 3}, truth) {
+		t.Fatal("monotone estimates rejected")
+	}
+	if CorrectOrdering([]float64{2, 1, 3}, truth) {
+		t.Fatal("swapped estimates accepted")
+	}
+	// Ties in estimates violate strict ordering of distinct truths.
+	if CorrectOrdering([]float64{1, 1, 3}, truth) {
+		t.Fatal("tied estimates accepted for distinct truths")
+	}
+	// Ties in truth are unordered: anything goes for that pair.
+	if !CorrectOrdering([]float64{2, 1, 3}, []float64{10, 10, 30}) {
+		t.Fatal("tied truths should be free")
+	}
+}
+
+func TestCorrectOrderingSelf(t *testing.T) {
+	// Property: any vector orders itself correctly.
+	check := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		return CorrectOrdering(xs, xs)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncorrectPairsCount(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	// Fully reversed: all 6 pairs wrong.
+	if n := IncorrectPairs([]float64{4, 3, 2, 1}, truth, 0); n != 6 {
+		t.Fatalf("reversed: %d wrong pairs, want 6", n)
+	}
+	// One swap: pairs (0,1) wrong only.
+	if n := IncorrectPairs([]float64{2, 1, 3, 4}, truth, 0); n != 1 {
+		t.Fatalf("one swap: %d wrong pairs, want 1", n)
+	}
+}
+
+func TestIncorrectPairsResolution(t *testing.T) {
+	truth := []float64{10, 10.5, 30}
+	est := []float64{2, 1, 3} // swaps the close pair
+	if n := IncorrectPairs(est, truth, 0); n != 1 {
+		t.Fatalf("strict: %d, want 1", n)
+	}
+	if n := IncorrectPairs(est, truth, 1); n != 0 {
+		t.Fatalf("r=1 should forgive the close pair, got %d", n)
+	}
+}
+
+func TestResolutionCorrectMonotoneInR(t *testing.T) {
+	// Property: growing r can only forgive more pairs.
+	check := func(rawT, rawE []uint8, rRaw uint8) bool {
+		n := len(rawT)
+		if len(rawE) < n {
+			n = len(rawE)
+		}
+		if n < 2 {
+			return true
+		}
+		truth := make([]float64, n)
+		est := make([]float64, n)
+		for i := 0; i < n; i++ {
+			truth[i] = float64(rawT[i])
+			est[i] = float64(rawE[i])
+		}
+		r1 := float64(rRaw % 50)
+		r2 := r1 + 10
+		return IncorrectPairs(est, truth, r2) <= IncorrectPairs(est, truth, r1)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjacentCorrect(t *testing.T) {
+	truth := []float64{1, 3, 2, 5}
+	if !AdjacentCorrect([]float64{10, 30, 20, 50}, truth, 0) {
+		t.Fatal("correct trend rejected")
+	}
+	// Swap a non-adjacent pair's order (indices 0 and 3 relation broken is
+	// irrelevant); breaking an adjacent one must be caught.
+	if AdjacentCorrect([]float64{30, 10, 20, 50}, truth, 0) {
+		t.Fatal("broken adjacent pair accepted")
+	}
+	// Close adjacent pair exempt at resolution.
+	if !AdjacentCorrect([]float64{10, 30, 31, 50}, []float64{1, 3, 2.9, 5}, 0.5) {
+		t.Fatal("resolution exemption not applied")
+	}
+}
+
+func TestRanking(t *testing.T) {
+	r := Ranking([]float64{5, 9, 1, 7})
+	want := []int{1, 3, 0, 2}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranking %v, want %v", r, want)
+		}
+	}
+}
+
+func TestRankingIsPermutation(t *testing.T) {
+	check := func(raw []uint8) bool {
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b)
+		}
+		r := Ranking(xs)
+		if len(r) != len(xs) {
+			return false
+		}
+		seen := make([]bool, len(xs))
+		for _, v := range r {
+			if v < 0 || v >= len(xs) || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		// Descending by value.
+		for i := 1; i < len(r); i++ {
+			if xs[r[i]] > xs[r[i-1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopTCorrect(t *testing.T) {
+	truth := []float64{10, 40, 30, 20}
+	if !TopTCorrect([]float64{1, 4, 3, 2}, truth, 2, 0) {
+		t.Fatal("correct top-2 rejected")
+	}
+	if TopTCorrect([]float64{1, 3, 4, 2}, truth, 2, 0) {
+		t.Fatal("swapped top-2 accepted")
+	}
+	// Swap within resolution allowed.
+	if !TopTCorrect([]float64{1, 3, 4, 2}, []float64{10, 40, 39.9, 20}, 2, 0.5) {
+		t.Fatal("resolution swap rejected")
+	}
+	// t larger than k degrades gracefully.
+	if !TopTCorrect([]float64{1, 4, 3, 2}, truth, 10, 0) {
+		t.Fatal("t>k failed")
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := interval{0, 1}
+	cases := []struct {
+		b    interval
+		want bool
+	}{
+		{interval{0.5, 2}, true},
+		{interval{1, 2}, true}, // touching counts as overlap
+		{interval{1.01, 2}, false},
+		{interval{-2, -0.01}, false},
+		{interval{-1, 0}, true},
+	}
+	for _, c := range cases {
+		if a.overlaps(c.b) != c.want {
+			t.Errorf("overlap(%v, %v) != %v", a, c.b, c.want)
+		}
+	}
+}
+
+func TestIsolatedEqualWidthMatchesGeneral(t *testing.T) {
+	// Property: the O(n log n) sweep agrees with the general pairwise
+	// check when all widths are equal.
+	check := func(raw []uint8, epsRaw uint8) bool {
+		if len(raw) < 2 || len(raw) > 12 {
+			return true
+		}
+		est := make([]float64, len(raw))
+		for i, b := range raw {
+			est[i] = float64(b)
+		}
+		eps := float64(epsRaw%40) / 3
+		idx := make([]int, len(est))
+		for i := range idx {
+			idx[i] = i
+		}
+		fast := make([]bool, len(est))
+		isolatedEqualWidth(idx, est, eps, fast)
+		ivs := map[int]interval{}
+		for i, e := range est {
+			ivs[i] = interval{e - eps, e + eps}
+		}
+		slow := make([]bool, len(est))
+		isolatedGeneral(ivs, slow)
+		for i := range fast {
+			if fast[i] != slow[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultSampledFraction(t *testing.T) {
+	u := virtUniverse([]float64{10, 90}, 500)
+	res := &Result{TotalSamples: 100}
+	if f := res.SampledFraction(u); f != 0.1 {
+		t.Fatalf("fraction %v, want 0.1", f)
+	}
+	unknown := dataset.NewUniverse(100, funcishGroup{name: "u", mean: 1})
+	noSize := &Result{TotalSamples: 5}
+	if f := noSize.SampledFraction(unknown); !math.IsNaN(f) {
+		t.Fatalf("unknown-size fraction %v, want NaN", f)
+	}
+}

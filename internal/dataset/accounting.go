@@ -1,0 +1,75 @@
+package dataset
+
+import "repro/internal/xrand"
+
+// Sampler mediates every draw an algorithm makes from a universe, keeping
+// exact per-group and total sample counts (the paper's m_i and C = Σ m_i),
+// and transparently switching between with- and without-replacement modes.
+//
+// In without-replacement mode a group that supports it is consumed via its
+// permutation stream; once (or if) exhausted, further draws fall back to
+// with-replacement, which can only happen if an algorithm requests more
+// samples than the group holds — the accountant records this in Exhausted
+// so experiments can report it.
+type Sampler struct {
+	u       *Universe
+	rng     *xrand.RNG
+	without bool
+
+	counts    []int64
+	total     int64
+	exhausted []bool
+}
+
+// NewSampler returns a sampler over u. If withoutReplacement is true,
+// groups implementing WithoutReplacementGroup are consumed without
+// replacement.
+func NewSampler(u *Universe, rng *xrand.RNG, withoutReplacement bool) *Sampler {
+	return &Sampler{
+		u:         u,
+		rng:       rng,
+		without:   withoutReplacement,
+		counts:    make([]int64, u.K()),
+		exhausted: make([]bool, u.K()),
+	}
+}
+
+// Draw samples once from group i and records the draw.
+func (s *Sampler) Draw(i int) float64 {
+	g := s.u.Groups[i]
+	s.counts[i]++
+	s.total++
+	if s.without {
+		if wg, ok := g.(WithoutReplacementGroup); ok {
+			if v, ok := wg.DrawWithoutReplacement(s.rng); ok {
+				return v
+			}
+			s.exhausted[i] = true
+		}
+	}
+	return g.Draw(s.rng)
+}
+
+// Counts returns the per-group sample counts m_i. The returned slice is
+// owned by the sampler; callers must copy it if they retain it.
+func (s *Sampler) Counts() []int64 { return s.counts }
+
+// Count returns m_i for group i.
+func (s *Sampler) Count(i int) int64 { return s.counts[i] }
+
+// Total returns the total sample complexity C = Σ m_i so far.
+func (s *Sampler) Total() int64 { return s.total }
+
+// Exhausted reports whether group i ran out of without-replacement samples.
+func (s *Sampler) Exhausted(i int) bool { return s.exhausted[i] }
+
+// RNG exposes the sampler's generator for algorithms that need auxiliary
+// randomness (e.g. the unknown-size SUM estimator).
+func (s *Sampler) RNG() *xrand.RNG { return s.rng }
+
+// WithoutReplacement reports whether the sampler consumes groups without
+// replacement.
+func (s *Sampler) WithoutReplacement() bool { return s.without }
+
+// Universe returns the sampled universe.
+func (s *Sampler) Universe() *Universe { return s.u }

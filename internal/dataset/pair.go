@@ -1,0 +1,112 @@
+package dataset
+
+import "repro/internal/xrand"
+
+// PairGroup is a group whose tuples carry two aggregate attributes (Y, Z),
+// supporting the multiple-aggregates visualization of §6.3.5
+// (SELECT X, AVG(Y), AVG(Z) ... GROUP BY X). Draw returns Y alone;
+// DrawPair returns both attributes of one random tuple.
+type PairGroup interface {
+	Group
+	// DrawPair returns the (Y, Z) attributes of a uniform random tuple.
+	DrawPair(r *xrand.RNG) (y, z float64)
+	// TrueMeanZ returns the exact mean of the Z attribute.
+	TrueMeanZ() float64
+}
+
+// SlicePairGroup is a materialized PairGroup over parallel value slices.
+type SlicePairGroup struct {
+	*SliceGroup
+	zs    []float64
+	meanZ float64
+}
+
+// NewSlicePairGroup builds a pair group from parallel Y and Z slices.
+// It panics if the slices differ in length.
+func NewSlicePairGroup(name string, ys, zs []float64) *SlicePairGroup {
+	if len(ys) != len(zs) {
+		panic("dataset: pair group needs parallel slices")
+	}
+	g := &SlicePairGroup{SliceGroup: NewSliceGroup(name, ys), zs: zs}
+	sum := 0.0
+	for _, z := range zs {
+		sum += z
+	}
+	g.meanZ = sum / float64(len(zs))
+	return g
+}
+
+// DrawPair returns the attributes of one random tuple.
+func (g *SlicePairGroup) DrawPair(r *xrand.RNG) (float64, float64) {
+	i := r.Intn(len(g.zs))
+	return g.Values()[i], g.zs[i]
+}
+
+// TrueMeanZ returns the exact mean of the Z attribute.
+func (g *SlicePairGroup) TrueMeanZ() float64 { return g.meanZ }
+
+// DistPairGroup is a virtual PairGroup whose two attributes are drawn from
+// independent distributions (sufficient for the multi-aggregate experiments,
+// which only exercise the ordering of the two marginals).
+type DistPairGroup struct {
+	*DistGroup
+	zdist xrand.Dist
+}
+
+// NewDistPairGroup builds a virtual pair group of nominal size n.
+func NewDistPairGroup(name string, ydist, zdist xrand.Dist, n int64) *DistPairGroup {
+	return &DistPairGroup{DistGroup: NewDistGroup(name, ydist, n), zdist: zdist}
+}
+
+// DrawPair returns one sample from each marginal.
+func (g *DistPairGroup) DrawPair(r *xrand.RNG) (float64, float64) {
+	return g.Draw(r), g.zdist.Sample(r)
+}
+
+// TrueMeanZ returns the analytical mean of the Z marginal.
+func (g *DistPairGroup) TrueMeanZ() float64 { return g.zdist.Mean() }
+
+// FractionEstimator yields unbiased estimates of a group's fractional size
+// s_i = n_i / Σ n_j without requiring the sizes to be known exactly. The
+// unknown-group-size SUM algorithm (§6.3.1, Algorithm 5) multiplies each
+// value sample by such an estimate to obtain an unbiased normalized-sum
+// sample.
+//
+// The estimator returned by membership sampling is the indicator that a
+// uniformly random tuple of the whole table belongs to group i: its
+// expectation is exactly s_i and it lies in [0, 1], so products x·z stay in
+// [0, c] and the Hoeffding machinery applies unchanged.
+type FractionEstimator interface {
+	// DrawFractionEstimate returns an unbiased estimate in [0, 1] of group
+	// i's fractional size.
+	DrawFractionEstimate(i int, r *xrand.RNG) float64
+}
+
+// MembershipFractionEstimator implements FractionEstimator for a universe
+// with known sizes by simulating the membership test NEEDLETAIL performs
+// with its bitmap indexes: a Bernoulli draw with success probability s_i.
+type MembershipFractionEstimator struct {
+	fractions []float64
+}
+
+// NewMembershipFractionEstimator precomputes the group fractions of u.
+// It panics if any group size is unknown.
+func NewMembershipFractionEstimator(u *Universe) *MembershipFractionEstimator {
+	total := u.TotalSize()
+	if total == 0 {
+		panic("dataset: fraction estimator needs known group sizes")
+	}
+	fr := make([]float64, u.K())
+	for i, g := range u.Groups {
+		fr[i] = float64(g.Size()) / float64(total)
+	}
+	return &MembershipFractionEstimator{fractions: fr}
+}
+
+// DrawFractionEstimate returns 1 with probability s_i, else 0.
+func (e *MembershipFractionEstimator) DrawFractionEstimate(i int, r *xrand.RNG) float64 {
+	if r.Float64() < e.fractions[i] {
+		return 1
+	}
+	return 0
+}

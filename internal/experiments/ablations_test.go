@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestAblationKappa(t *testing.T) {
+	s := tinyScale()
+	res, err := AblationKappa(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's footnote: small κ near 1 behaves like κ=1. Larger κ may
+	// differ somewhat but must stay within a small constant factor. (Strict
+	// accuracy is not asserted here: at this tiny scale near-tie pairs are
+	// settled by virtual-group exhaustion, whose noise is κ-independent —
+	// see DESIGN.md §4.)
+	base := res.MeanPct[0]
+	for i, k := range res.Kappas {
+		if res.MeanPct[i] < base/2 || res.MeanPct[i] > base*2 {
+			t.Fatalf("kappa=%v cost %v strays from kappa=1 cost %v", k, res.MeanPct[i], base)
+		}
+		if res.Accuracy[i] < 0 || res.Accuracy[i] > 1+1e-9 {
+			t.Fatalf("kappa=%v accuracy %v out of range", k, res.Accuracy[i])
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestAblationReplacement(t *testing.T) {
+	s := tinyScale()
+	res, err := AblationReplacement(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// δ=0.05 per run: tolerate the occasional tail event, not a pattern.
+	if float64(res.Failures) > 0.25*float64(res.Runs) {
+		t.Fatalf("%d/%d ordering failures", res.Failures, res.Runs)
+	}
+	// The Serfling term can only help: without-replacement never samples
+	// more than with-replacement at the same seed (the schedule is
+	// pointwise tighter and exhaustion bounds the worst case).
+	for i := range res.Sizes {
+		if res.WithoutPct[i] > res.WithPct[i]*1.05 {
+			t.Fatalf("size %d: without %v exceeds with %v", res.Sizes[i], res.WithoutPct[i], res.WithPct[i])
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}
+
+func TestAblationBlockCache(t *testing.T) {
+	s := tinyScale()
+	s.Reps = 1
+	res, err := AblationBlockCache(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Sizes {
+		// The cache is the difference between beating SCAN and losing to
+		// it: naive costing must be dramatically slower than cached.
+		if res.NaiveSec[i] < 5*res.CachedSec[i] {
+			t.Fatalf("size %d: naive %v not >> cached %v", res.Sizes[i], res.NaiveSec[i], res.CachedSec[i])
+		}
+	}
+	var buf bytes.Buffer
+	res.Print(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty print")
+	}
+}

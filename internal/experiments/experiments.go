@@ -1,0 +1,193 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§5). Each runner builds the paper's workload (scaled by a
+// Scale), executes the six algorithms (IFOCUS, IFOCUS-R, IREFINE,
+// IREFINE-R, ROUNDROBIN, ROUNDROBIN-R — plus SCAN where the figure includes
+// it), and returns the same rows/series the paper plots. Absolute numbers
+// depend on the simulated device, but the comparisons the paper reports —
+// who wins, by what factor, where behaviour flattens out — are what these
+// runners reproduce. See EXPERIMENTS.md for paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Algo names one of the six sampling algorithms under test.
+type Algo string
+
+// The algorithm roster of §5.1.
+const (
+	AlgoIFocus      Algo = "ifocus"
+	AlgoIFocusR     Algo = "ifocusr"
+	AlgoIRefine     Algo = "irefine"
+	AlgoIRefineR    Algo = "irefiner"
+	AlgoRoundRobin  Algo = "roundrobin"
+	AlgoRoundRobinR Algo = "roundrobinr"
+)
+
+// Algos lists the roster in the order the paper's legends use.
+var Algos = []Algo{AlgoIFocus, AlgoIFocusR, AlgoIRefine, AlgoIRefineR, AlgoRoundRobin, AlgoRoundRobinR}
+
+// resolutionVariant reports whether the algorithm uses the Problem 2
+// relaxation.
+func (a Algo) resolutionVariant() bool {
+	switch a {
+	case AlgoIFocusR, AlgoIRefineR, AlgoRoundRobinR:
+		return true
+	}
+	return false
+}
+
+// Run executes the named algorithm on u.
+func (a Algo) Run(u *dataset.Universe, rng *xrand.RNG, opts core.Options) (*core.Result, error) {
+	if a.resolutionVariant() && opts.Resolution == 0 {
+		return nil, fmt.Errorf("experiments: %s needs a resolution", a)
+	}
+	if !a.resolutionVariant() {
+		opts.Resolution = 0
+	}
+	switch a {
+	case AlgoIFocus, AlgoIFocusR:
+		return core.IFocus(u, rng, opts)
+	case AlgoIRefine, AlgoIRefineR:
+		return core.IRefine(u, rng, opts)
+	case AlgoRoundRobin, AlgoRoundRobinR:
+		return core.RoundRobin(u, rng, opts)
+	default:
+		return nil, fmt.Errorf("experiments: unknown algorithm %q", a)
+	}
+}
+
+// Scale controls how much work a runner does. The paper's full scale (100
+// datasets per point, sizes to 10¹⁰) is hours of compute; DefaultScale is
+// laptop-sized and preserves every qualitative comparison.
+type Scale struct {
+	// Reps is the number of independently generated datasets per data
+	// point (the paper uses 100).
+	Reps int
+	// Sizes are the dataset sizes for the size sweeps of Figures 3(a) and
+	// 4 (the paper uses 10⁷..10¹⁰).
+	Sizes []int64
+	// BaseRows is the dataset size for non-size-sweep figures (the paper
+	// uses 10⁷, i.e. 10M).
+	BaseRows int64
+	// Seed drives all dataset generation and sampling.
+	Seed uint64
+	// MaxRounds caps pathological instances (two means drawn almost
+	// exactly equal would otherwise sample unboundedly at the largest
+	// sizes). Capped runs are counted and reported.
+	MaxRounds int
+	// Delta is the failure probability (paper default 0.05).
+	Delta float64
+	// Resolution is the r of the -R variants, in value units (paper: 1,
+	// i.e. 1% of the [0,100] domain).
+	Resolution float64
+}
+
+// DefaultScale returns the laptop-sized configuration.
+func DefaultScale() Scale {
+	return Scale{
+		Reps:       10,
+		Sizes:      []int64{1e6, 1e7, 1e8},
+		BaseRows:   1e6,
+		Seed:       1,
+		MaxRounds:  1 << 22,
+		Delta:      0.05,
+		Resolution: 1,
+	}
+}
+
+// PaperScale returns the paper's full experimental configuration. Expect
+// hours of compute.
+func PaperScale() Scale {
+	s := DefaultScale()
+	s.Reps = 100
+	s.Sizes = []int64{1e7, 1e8, 1e9, 1e10}
+	s.BaseRows = 1e7
+	s.MaxRounds = 1 << 26
+	return s
+}
+
+// options builds the core options for one run.
+func (s Scale) options(a Algo) core.Options {
+	opts := core.DefaultOptions()
+	opts.Delta = s.Delta
+	opts.MaxRounds = s.MaxRounds
+	if a.resolutionVariant() {
+		opts.Resolution = s.Resolution
+	}
+	return opts
+}
+
+// Stat summarizes repeated measurements.
+type Stat struct {
+	Mean, Min, Max float64
+	// Q1, Median, Q3 support the box-and-whisker figures.
+	Q1, Median, Q3 float64
+	N              int
+}
+
+// NewStat computes summary statistics of xs.
+func NewStat(xs []float64) Stat {
+	if len(xs) == 0 {
+		return Stat{}
+	}
+	sorted := append([]float64(nil), xs...)
+	insertionSort(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	q := func(p float64) float64 {
+		pos := p * float64(len(sorted)-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 < len(sorted) {
+			return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+		}
+		return sorted[lo]
+	}
+	return Stat{
+		Mean:   sum / float64(len(sorted)),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Q1:     q(0.25),
+		Median: q(0.5),
+		Q3:     q(0.75),
+		N:      len(sorted),
+	}
+}
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// mixtureConfig is the paper's default workload at the given size.
+func mixtureConfig(rows int64, k int, seed uint64) workload.Config {
+	return workload.Config{Kind: workload.MixtureKind, K: k, TotalRows: rows, Seed: seed}
+}
+
+// checkCorrect verifies a run against ground truth at the resolution the
+// algorithm was promised (0 for the strict variants, r for the -R ones).
+func checkCorrect(a Algo, s Scale, res *core.Result, truth []float64) bool {
+	r := 0.0
+	if a.resolutionVariant() {
+		r = s.Resolution
+	}
+	return core.IncorrectPairs(res.Estimates, truth, r) == 0
+}
+
+// fprintf writes formatted output, ignoring errors (terminal writers).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/viz"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// Fig3aResult reproduces Figure 3(a): mean percentage of the dataset
+// sampled as a function of dataset size, for all six algorithms.
+type Fig3aResult struct {
+	Sizes []int64
+	// PctSampled[algo][sizeIdx] is the mean percentage sampled.
+	PctSampled map[Algo][]float64
+	// RawSamples[algo][sizeIdx] is the mean raw sample count — the paper's
+	// observation that the -R variants take a *constant* number of samples
+	// beyond 10⁸ rows is visible here.
+	RawSamples map[Algo][]float64
+	// Correct[algo] counts ordering-correct runs out of Runs.
+	Correct map[Algo]int
+	Runs    int
+	Capped  int
+}
+
+// Fig3a runs the dataset-size sweep on the paper's mixture workload
+// (k=10 groups, δ=0.05, r=1), averaging over Scale.Reps datasets per size.
+func Fig3a(s Scale) (*Fig3aResult, error) {
+	res := &Fig3aResult{
+		Sizes:      s.Sizes,
+		PctSampled: map[Algo][]float64{},
+		RawSamples: map[Algo][]float64{},
+		Correct:    map[Algo]int{},
+	}
+	for _, a := range Algos {
+		res.PctSampled[a] = make([]float64, len(s.Sizes))
+		res.RawSamples[a] = make([]float64, len(s.Sizes))
+	}
+	for si, size := range s.Sizes {
+		for rep := 0; rep < s.Reps; rep++ {
+			seed := s.Seed + uint64(si*1000+rep)
+			u, err := workload.Virtual(mixtureConfig(size, 10, seed))
+			if err != nil {
+				return nil, err
+			}
+			truth := u.TrueMeans()
+			for _, a := range Algos {
+				run, err := a.Run(u, xrand.New(seed^0x5eed), s.options(a))
+				if err != nil {
+					return nil, err
+				}
+				res.PctSampled[a][si] += 100 * run.SampledFraction(u) / float64(s.Reps)
+				res.RawSamples[a][si] += float64(run.TotalSamples) / float64(s.Reps)
+				if checkCorrect(a, s, run, truth) {
+					res.Correct[a]++
+				}
+				if run.Capped {
+					res.Capped++
+				}
+				res.Runs++
+			}
+		}
+	}
+	res.Runs /= len(Algos)
+	return res, nil
+}
+
+// Print renders the sweep as a table, one row per size.
+func (r *Fig3aResult) Print(w io.Writer) {
+	headers := []string{"size"}
+	for _, a := range Algos {
+		headers = append(headers, string(a)+" %")
+	}
+	var rows [][]string
+	for si, size := range r.Sizes {
+		cells := []string{fmt.Sprintf("%.0e", float64(size))}
+		for _, a := range Algos {
+			cells = append(cells, fmt.Sprintf("%.4f", r.PctSampled[a][si]))
+		}
+		rows = append(rows, cells)
+	}
+	fprintf(w, "Figure 3(a): percent of dataset sampled vs dataset size (mixture, k=10)\n")
+	fprintf(w, "%s", viz.Table(headers, rows))
+	fprintf(w, "ordering-correct runs: ")
+	for _, a := range Algos {
+		fprintf(w, "%s %d/%d  ", a, r.Correct[a], r.Runs)
+	}
+	fprintf(w, "(capped: %d)\n", r.Capped)
+}
+
+// Fig3cResult reproduces Figure 3(c): percentage sampled as a function of
+// the failure probability δ, at fixed dataset size.
+type Fig3cResult struct {
+	Deltas []float64
+	// PctSampled[algo][deltaIdx] is the mean percentage sampled.
+	PctSampled map[Algo][]float64
+	// Accuracy[algo][deltaIdx] is the fraction of ordering-correct runs —
+	// the paper's headline that accuracy stays at 100% independent of δ.
+	Accuracy map[Algo][]float64
+}
+
+// Fig3c sweeps δ over the paper's range at Scale.BaseRows.
+func Fig3c(s Scale) (*Fig3cResult, error) {
+	deltas := []float64{0.01, 0.05, 0.1, 0.2, 0.4, 0.6, 0.8, 0.95}
+	res := &Fig3cResult{
+		Deltas:     deltas,
+		PctSampled: map[Algo][]float64{},
+		Accuracy:   map[Algo][]float64{},
+	}
+	for _, a := range Algos {
+		res.PctSampled[a] = make([]float64, len(deltas))
+		res.Accuracy[a] = make([]float64, len(deltas))
+	}
+	for di, delta := range deltas {
+		for rep := 0; rep < s.Reps; rep++ {
+			seed := s.Seed + uint64(di*1000+rep)
+			u, err := workload.Virtual(mixtureConfig(s.BaseRows, 10, seed))
+			if err != nil {
+				return nil, err
+			}
+			truth := u.TrueMeans()
+			for _, a := range Algos {
+				opts := s.options(a)
+				opts.Delta = delta
+				run, err := a.Run(u, xrand.New(seed^0xde17a), opts)
+				if err != nil {
+					return nil, err
+				}
+				res.PctSampled[a][di] += 100 * run.SampledFraction(u) / float64(s.Reps)
+				if checkCorrect(a, s, run, truth) {
+					res.Accuracy[a][di] += 1 / float64(s.Reps)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders the δ sweep.
+func (r *Fig3cResult) Print(w io.Writer) {
+	headers := []string{"delta"}
+	for _, a := range Algos {
+		headers = append(headers, string(a)+" %")
+	}
+	var rows [][]string
+	for di, d := range r.Deltas {
+		cells := []string{fmt.Sprintf("%.2f", d)}
+		for _, a := range Algos {
+			cells = append(cells, fmt.Sprintf("%.3f", r.PctSampled[a][di]))
+		}
+		rows = append(rows, cells)
+	}
+	fprintf(w, "Figure 3(c): percent sampled vs delta (mixture, k=10)\n")
+	fprintf(w, "%s", viz.Table(headers, rows))
+	fprintf(w, "accuracy at every delta: ")
+	for _, a := range Algos {
+		min := 1.0
+		for _, acc := range r.Accuracy[a] {
+			if acc < min {
+				min = acc
+			}
+		}
+		fprintf(w, "%s >= %.0f%%  ", a, 100*min)
+	}
+	fprintf(w, "\n")
+}

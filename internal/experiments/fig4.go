@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/needletail"
+	"repro/internal/needletail/disksim"
+	"repro/internal/viz"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// TimedRun is one algorithm execution on the NEEDLETAIL engine with its
+// simulated cost decomposition.
+type TimedRun struct {
+	Algo    Algo
+	Size    int64
+	Samples int64
+	IOSec   float64
+	CPUSec  float64
+}
+
+// TotalSec is the simulated wall-clock (single-threaded: I/O + CPU).
+func (t TimedRun) TotalSec() float64 { return t.IOSec + t.CPUSec }
+
+// Fig4Result reproduces Figures 4(a)–(c) — total, I/O and CPU time vs
+// dataset size for the six algorithms plus SCAN — and doubles as the data
+// for Figure 3(b), the samples-vs-runtime scatter.
+type Fig4Result struct {
+	Sizes []int64
+	// Mean[algo][sizeIdx] is the averaged cost decomposition. The "scan"
+	// pseudo-algorithm is included under AlgoScan.
+	Mean map[Algo][]TimedRun
+	// Scatter holds every individual (samples, time) point for Fig 3(b).
+	Scatter []TimedRun
+}
+
+// AlgoScan labels the SCAN baseline rows of Figure 4.
+const AlgoScan Algo = "scan"
+
+// Fig4 runs the size sweep on the NEEDLETAIL engine with the default
+// simulated device (see disksim.DefaultCostModel), measuring simulated
+// I/O and CPU seconds per algorithm.
+func Fig4(s Scale) (*Fig4Result, error) {
+	algos := append(append([]Algo(nil), Algos...), AlgoScan)
+	res := &Fig4Result{Sizes: s.Sizes, Mean: map[Algo][]TimedRun{}}
+	for _, a := range algos {
+		res.Mean[a] = make([]TimedRun, len(s.Sizes))
+		for si, size := range s.Sizes {
+			res.Mean[a][si] = TimedRun{Algo: a, Size: size}
+		}
+	}
+	schema := needletail.Schema{GroupColumn: "grp", ValueColumns: []string{"y"}}
+	for si, size := range s.Sizes {
+		for rep := 0; rep < s.Reps; rep++ {
+			seed := s.Seed + uint64(si*1000+rep)
+			dists, sizes, err := workload.Dists(mixtureConfig(size, 10, seed))
+			if err != nil {
+				return nil, err
+			}
+			specs := make([]needletail.VirtualGroupSpec, len(dists))
+			for i := range dists {
+				specs[i] = needletail.VirtualGroupSpec{
+					Name:  fmt.Sprintf("g%02d", i),
+					N:     sizes[i],
+					Dists: []xrand.Dist{dists[i]},
+				}
+			}
+			for _, a := range algos {
+				device := disksim.MustNew(disksim.DefaultCostModel())
+				table, err := needletail.NewVirtualTable(schema, device, specs)
+				if err != nil {
+					return nil, err
+				}
+				eng, err := needletail.NewEngine(table, "y", workload.DomainBound)
+				if err != nil {
+					return nil, err
+				}
+				var samples int64
+				if a == AlgoScan {
+					eng.Scan()
+					samples = size
+				} else {
+					u := eng.Universe()
+					opts := s.options(a)
+					// The engine knows the group sizes, so the schedule
+					// keeps the Serfling finite-population term; a group
+					// whose population is (nominally) exhausted settles at
+					// its running mean, which bounds the worst-case rounds
+					// on hard instances exactly as in the paper.
+					run, err := a.Run(u, xrand.New(seed^0xf16), opts)
+					if err != nil {
+						return nil, err
+					}
+					samples = run.TotalSamples
+				}
+				st := device.Stats()
+				tr := TimedRun{Algo: a, Size: size, Samples: samples, IOSec: st.IOSeconds, CPUSec: st.CPUSeconds}
+				res.Scatter = append(res.Scatter, tr)
+				mean := &res.Mean[a][si]
+				mean.Samples += samples / int64(s.Reps)
+				mean.IOSec += st.IOSeconds / float64(s.Reps)
+				mean.CPUSec += st.CPUSeconds / float64(s.Reps)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders the three panels of Figure 4 as tables.
+func (r *Fig4Result) Print(w io.Writer) {
+	algos := append(append([]Algo(nil), Algos...), AlgoScan)
+	panel := func(title string, get func(TimedRun) float64) {
+		headers := []string{"size"}
+		for _, a := range algos {
+			headers = append(headers, string(a))
+		}
+		var rows [][]string
+		for si, size := range r.Sizes {
+			cells := []string{fmt.Sprintf("%.0e", float64(size))}
+			for _, a := range algos {
+				cells = append(cells, fmt.Sprintf("%.3g", get(r.Mean[a][si])))
+			}
+			rows = append(rows, cells)
+		}
+		fprintf(w, "%s\n%s\n", title, viz.Table(headers, rows))
+	}
+	panel("Figure 4(a): total simulated seconds vs dataset size", TimedRun.TotalSec)
+	panel("Figure 4(b): simulated I/O seconds vs dataset size", func(t TimedRun) float64 { return t.IOSec })
+	panel("Figure 4(c): simulated CPU seconds vs dataset size", func(t TimedRun) float64 { return t.CPUSec })
+}
+
+// PrintScatter renders Figure 3(b): every (samples, total time) point.
+func (r *Fig4Result) PrintScatter(w io.Writer) {
+	fprintf(w, "Figure 3(b): samples vs total simulated time (one point per run)\n")
+	var rows [][]string
+	for _, p := range r.Scatter {
+		if p.Algo == AlgoScan {
+			continue
+		}
+		rows = append(rows, []string{
+			string(p.Algo),
+			fmt.Sprintf("%.0e", float64(p.Size)),
+			fmt.Sprintf("%d", p.Samples),
+			fmt.Sprintf("%.4g", p.TotalSec()),
+		})
+	}
+	fprintf(w, "%s", viz.Table([]string{"algo", "size", "samples", "total s"}, rows))
+}
+
+// SamplesTimeCorrelation returns the Pearson correlation between sample
+// count and total simulated time across the scatter points — the paper's
+// Figure 3(b) claim is that runtime is directly proportional to samples,
+// i.e. this is close to 1.
+func (r *Fig4Result) SamplesTimeCorrelation() float64 {
+	var xs, ys []float64
+	for _, p := range r.Scatter {
+		if p.Algo == AlgoScan {
+			continue
+		}
+		xs = append(xs, float64(p.Samples))
+		ys = append(ys, p.TotalSec())
+	}
+	return pearson(xs, ys)
+}
+
+func pearson(xs, ys []float64) float64 {
+	n := float64(len(xs))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}

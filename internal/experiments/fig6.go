@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/conc"
+	"repro/internal/dataset"
+	"repro/internal/viz"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// GroupsSweepResult reproduces Figure 6(b): percentage sampled as a
+// function of the number of groups (each group holding a fixed number of
+// rows, 1M in the paper).
+type GroupsSweepResult struct {
+	Ks []int
+	// PctSampled[algo][kIdx] is the mean percentage sampled.
+	PctSampled map[Algo][]float64
+}
+
+// Fig6b sweeps k over the paper's {5, 10, 20, 50} with Scale.BaseRows/10
+// rows per group (so k=10 matches the paper's default dataset).
+func Fig6b(s Scale) (*GroupsSweepResult, error) {
+	ks := []int{5, 10, 20, 50}
+	perGroup := s.BaseRows / 10
+	res := &GroupsSweepResult{Ks: ks, PctSampled: map[Algo][]float64{}}
+	for _, a := range Algos {
+		res.PctSampled[a] = make([]float64, len(ks))
+	}
+	for ki, k := range ks {
+		for rep := 0; rep < s.Reps; rep++ {
+			seed := s.Seed + uint64(ki*1000+rep)
+			u, err := workload.Virtual(mixtureConfig(perGroup*int64(k), k, seed))
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range Algos {
+				run, err := a.Run(u, xrand.New(seed^0x6b), s.options(a))
+				if err != nil {
+					return nil, err
+				}
+				res.PctSampled[a][ki] += 100 * run.SampledFraction(u) / float64(s.Reps)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders the sweep.
+func (r *GroupsSweepResult) Print(w io.Writer) {
+	headers := []string{"k"}
+	for _, a := range Algos {
+		headers = append(headers, string(a)+" %")
+	}
+	var rows [][]string
+	for ki, k := range r.Ks {
+		cells := []string{fmt.Sprintf("%d", k)}
+		for _, a := range Algos {
+			cells = append(cells, fmt.Sprintf("%.3f", r.PctSampled[a][ki]))
+		}
+		rows = append(rows, cells)
+	}
+	fprintf(w, "Figure 6(b): percent sampled vs number of groups (mixture, 1M rows/group scale-equivalent)\n")
+	fprintf(w, "%s", viz.Table(headers, rows))
+}
+
+// DifficultyResult reproduces Figures 6(c) and 7(c): box-and-whisker
+// summaries of the instance difficulty c²/η² as the workload parameter
+// (number of groups, or truncnorm standard deviation) varies.
+type DifficultyResult struct {
+	// Labels are the x-axis values (k or std).
+	Labels []string
+	// Stats are the difficulty summaries per label.
+	Stats []Stat
+	Title string
+}
+
+// Fig6c measures difficulty vs number of groups on the mixture family.
+func Fig6c(s Scale) (*DifficultyResult, error) {
+	ks := []int{5, 10, 20, 50}
+	res := &DifficultyResult{Title: "Figure 6(c): difficulty c^2/eta^2 vs number of groups"}
+	for ki, k := range ks {
+		var diffs []float64
+		for rep := 0; rep < s.Reps; rep++ {
+			seed := s.Seed + uint64(ki*1000+rep)
+			u, err := workload.Virtual(mixtureConfig(int64(k)*100_000, k, seed))
+			if err != nil {
+				return nil, err
+			}
+			eta := dataset.MinEta(u.TrueMeans())
+			diffs = append(diffs, conc.Difficulty(u.C, eta))
+		}
+		res.Labels = append(res.Labels, fmt.Sprintf("%d", k))
+		res.Stats = append(res.Stats, NewStat(diffs))
+	}
+	return res, nil
+}
+
+// Fig7c measures difficulty vs truncnorm standard deviation.
+func Fig7c(s Scale) (*DifficultyResult, error) {
+	stds := []float64{2, 5, 8, 10}
+	res := &DifficultyResult{Title: "Figure 7(c): difficulty c^2/eta^2 vs truncnorm std"}
+	for si, std := range stds {
+		var diffs []float64
+		for rep := 0; rep < s.Reps; rep++ {
+			seed := s.Seed + uint64(si*1000+rep)
+			cfg := workload.Config{Kind: workload.TruncNorm, K: 10, TotalRows: s.BaseRows, StdDev: std, Seed: seed}
+			u, err := workload.Virtual(cfg)
+			if err != nil {
+				return nil, err
+			}
+			eta := dataset.MinEta(u.TrueMeans())
+			diffs = append(diffs, conc.Difficulty(u.C, eta))
+		}
+		res.Labels = append(res.Labels, fmt.Sprintf("%.0f", std))
+		res.Stats = append(res.Stats, NewStat(diffs))
+	}
+	return res, nil
+}
+
+// Print renders the box-and-whisker summaries.
+func (r *DifficultyResult) Print(w io.Writer) {
+	var rows [][]string
+	for i, l := range r.Labels {
+		st := r.Stats[i]
+		rows = append(rows, []string{
+			l,
+			fmt.Sprintf("%.3g", st.Min),
+			fmt.Sprintf("%.3g", st.Q1),
+			fmt.Sprintf("%.3g", st.Median),
+			fmt.Sprintf("%.3g", st.Q3),
+			fmt.Sprintf("%.3g", st.Max),
+			fmt.Sprintf("%.3g", st.Mean),
+		})
+	}
+	fprintf(w, "%s\n%s", r.Title, viz.Table(
+		[]string{"x", "min", "q1", "median", "q3", "max", "mean"}, rows))
+}

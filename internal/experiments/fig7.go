@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/viz"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// SkewResult reproduces Figure 7(a): percentage sampled as the fraction of
+// the dataset held by the first group varies from 10% to 90%, the rest
+// split evenly over the remaining groups.
+type SkewResult struct {
+	Proportions []float64
+	// PctSampled[algo][propIdx] is the mean percentage sampled.
+	PctSampled map[Algo][]float64
+}
+
+// Fig7a runs the skew sweep on the mixture workload.
+func Fig7a(s Scale) (*SkewResult, error) {
+	props := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	res := &SkewResult{Proportions: props, PctSampled: map[Algo][]float64{}}
+	for _, a := range Algos {
+		res.PctSampled[a] = make([]float64, len(props))
+	}
+	const k = 10
+	for pi, p := range props {
+		shares := make([]float64, k)
+		shares[0] = p
+		for i := 1; i < k; i++ {
+			shares[i] = (1 - p) / float64(k-1)
+		}
+		for rep := 0; rep < s.Reps; rep++ {
+			seed := s.Seed + uint64(pi*1000+rep)
+			cfg := mixtureConfig(s.BaseRows, k, seed)
+			cfg.Proportions = shares
+			u, err := workload.Virtual(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, a := range Algos {
+				run, err := a.Run(u, xrand.New(seed^0x7a), s.options(a))
+				if err != nil {
+					return nil, err
+				}
+				res.PctSampled[a][pi] += 100 * run.SampledFraction(u) / float64(s.Reps)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders the skew sweep.
+func (r *SkewResult) Print(w io.Writer) {
+	headers := []string{"share"}
+	for _, a := range Algos {
+		headers = append(headers, string(a)+" %")
+	}
+	var rows [][]string
+	for pi, p := range r.Proportions {
+		cells := []string{fmt.Sprintf("%.1f", p)}
+		for _, a := range Algos {
+			cells = append(cells, fmt.Sprintf("%.3f", r.PctSampled[a][pi]))
+		}
+		rows = append(rows, cells)
+	}
+	fprintf(w, "Figure 7(a): percent sampled vs proportion of dataset in first group\n")
+	fprintf(w, "%s", viz.Table(headers, rows))
+}
+
+// StdDevResult reproduces Figure 7(b): IFOCUS-R's percentage sampled as a
+// function of δ for several truncnorm standard deviations.
+type StdDevResult struct {
+	Stds   []float64
+	Deltas []float64
+	// PctSampled[stdIdx][deltaIdx] is the mean percentage sampled.
+	PctSampled [][]float64
+}
+
+// Fig7b runs the std-dev sweep.
+func Fig7b(s Scale) (*StdDevResult, error) {
+	stds := []float64{2, 5, 8, 10}
+	deltas := []float64{0.05, 0.2, 0.4, 0.6, 0.8, 0.95}
+	res := &StdDevResult{Stds: stds, Deltas: deltas}
+	for si, std := range stds {
+		row := make([]float64, len(deltas))
+		for di, delta := range deltas {
+			for rep := 0; rep < s.Reps; rep++ {
+				seed := s.Seed + uint64(si*10_000+di*100+rep)
+				cfg := workload.Config{Kind: workload.TruncNorm, K: 10, TotalRows: s.BaseRows, StdDev: std, Seed: seed}
+				u, err := workload.Virtual(cfg)
+				if err != nil {
+					return nil, err
+				}
+				opts := s.options(AlgoIFocusR)
+				opts.Delta = delta
+				run, err := AlgoIFocusR.Run(u, xrand.New(seed^0x7b), opts)
+				if err != nil {
+					return nil, err
+				}
+				row[di] += 100 * run.SampledFraction(u) / float64(s.Reps)
+			}
+		}
+		res.PctSampled = append(res.PctSampled, row)
+	}
+	return res, nil
+}
+
+// Print renders the std-dev sweep.
+func (r *StdDevResult) Print(w io.Writer) {
+	headers := []string{"delta"}
+	for _, std := range r.Stds {
+		headers = append(headers, fmt.Sprintf("std=%.0f %%", std))
+	}
+	var rows [][]string
+	for di, d := range r.Deltas {
+		cells := []string{fmt.Sprintf("%.2f", d)}
+		for si := range r.Stds {
+			cells = append(cells, fmt.Sprintf("%.3f", r.PctSampled[si][di]))
+		}
+		rows = append(rows, cells)
+	}
+	fprintf(w, "Figure 7(b): IFOCUS-R percent sampled vs delta by truncnorm std\n")
+	fprintf(w, "%s", viz.Table(headers, rows))
+}

@@ -1,0 +1,210 @@
+package needletail
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestBitmapSetGetClear(t *testing.T) {
+	b := NewBitmap(200)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
+		if b.Get(i) {
+			t.Fatalf("fresh bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Count() != 8 {
+		t.Fatalf("count %d", b.Count())
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 7 {
+		t.Fatal("clear failed")
+	}
+}
+
+func TestBitmapBoundsPanic(t *testing.T) {
+	b := NewBitmap(10)
+	for _, fn := range []func(){
+		func() { b.Set(10) },
+		func() { b.Get(-1) },
+		func() { b.Clear(11) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSelectRankInverse(t *testing.T) {
+	// Property: over a random bitmap, Select(Rank(pos)) == pos for every
+	// set position, and Select enumerates set bits in order.
+	r := xrand.New(1)
+	check := func(nRaw uint16, density uint8) bool {
+		n := 1 + int(nRaw%5000)
+		b := NewBitmap(n)
+		p := 0.02 + float64(density%200)/250
+		var setPos []int
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				b.Set(i)
+				setPos = append(setPos, i)
+			}
+		}
+		if b.Count() != len(setPos) {
+			return false
+		}
+		for rank, pos := range setPos {
+			got, err := b.Select(rank)
+			if err != nil || got != pos {
+				return false
+			}
+			if b.Rank(pos) != rank {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelectOutOfRange(t *testing.T) {
+	b := NewBitmap(100)
+	b.Set(50)
+	if _, err := b.Select(1); err == nil {
+		t.Fatal("rank past count accepted")
+	}
+	if _, err := b.Select(-1); err == nil {
+		t.Fatal("negative rank accepted")
+	}
+	if pos, err := b.Select(0); err != nil || pos != 50 {
+		t.Fatalf("select(0) = %d, %v", pos, err)
+	}
+}
+
+func TestSelectAfterMutation(t *testing.T) {
+	// The lazy index must invalidate on writes.
+	b := NewBitmap(1000)
+	b.Set(10)
+	if pos, _ := b.Select(0); pos != 10 {
+		t.Fatal("select before mutation wrong")
+	}
+	b.Set(5)
+	if pos, _ := b.Select(0); pos != 5 {
+		t.Fatal("index not invalidated by Set")
+	}
+	b.Clear(5)
+	if pos, _ := b.Select(0); pos != 10 {
+		t.Fatal("index not invalidated by Clear")
+	}
+}
+
+func TestBitmapOps(t *testing.T) {
+	n := 300
+	a, b := NewBitmap(n), NewBitmap(n)
+	for i := 0; i < n; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < n; i += 3 {
+		b.Set(i)
+	}
+	and := a.And(b)
+	or := a.Or(b)
+	andNot := a.AndNot(b)
+	not := a.Not()
+	for i := 0; i < n; i++ {
+		even, third := i%2 == 0, i%3 == 0
+		if and.Get(i) != (even && third) {
+			t.Fatalf("and bit %d", i)
+		}
+		if or.Get(i) != (even || third) {
+			t.Fatalf("or bit %d", i)
+		}
+		if andNot.Get(i) != (even && !third) {
+			t.Fatalf("andnot bit %d", i)
+		}
+		if not.Get(i) != !even {
+			t.Fatalf("not bit %d", i)
+		}
+	}
+	// Not must not set phantom bits past n.
+	if not.Count() != n/2 {
+		t.Fatalf("not count %d, want %d", not.Count(), n/2)
+	}
+}
+
+func TestBitmapOpsLengthMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	NewBitmap(10).And(NewBitmap(20))
+}
+
+func TestForEachOrderAndStop(t *testing.T) {
+	b := NewBitmap(500)
+	want := []int{3, 64, 65, 130, 499}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.ForEach(func(pos int) bool {
+		got = append(got, pos)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order wrong: %v", got)
+		}
+	}
+	// Early stop.
+	count := 0
+	b.ForEach(func(pos int) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("stop ignored: %d", count)
+	}
+}
+
+func TestSelectUniformSampling(t *testing.T) {
+	// Sampling via Select(rand(count)) must be uniform over set bits —
+	// the property random tuple retrieval depends on.
+	b := NewBitmap(1000)
+	positions := []int{10, 200, 333, 512, 900}
+	for _, p := range positions {
+		b.Set(p)
+	}
+	r := xrand.New(5)
+	counts := map[int]int{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		pos, err := b.Select(r.Intn(b.Count()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[pos]++
+	}
+	for _, p := range positions {
+		frac := float64(counts[p]) / n
+		if frac < 0.17 || frac > 0.23 {
+			t.Fatalf("position %d drawn %v of the time, want ~0.2", p, frac)
+		}
+	}
+}

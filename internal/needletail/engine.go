@@ -1,0 +1,286 @@
+package needletail
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/needletail/disksim"
+	"repro/internal/xrand"
+)
+
+// Engine binds a table to the sampling-algorithm layer: it exposes each
+// group of the table as a dataset.Group whose draws go through the bitmap
+// index and charge the simulated device, so any algorithm in internal/core
+// runs unmodified on NEEDLETAIL and its run can be costed in simulated I/O
+// and CPU seconds.
+type Engine struct {
+	table Table
+	col   int
+	c     float64
+}
+
+// NewEngine returns an engine over the named value column of the table.
+// c bounds the column's values (the paper's c; e.g. 24h for flight delays).
+func NewEngine(table Table, column string, c float64) (*Engine, error) {
+	col := table.Schema().ColumnIndex(column)
+	if col < 0 {
+		return nil, fmt.Errorf("needletail: no value column %q in schema", column)
+	}
+	if c <= 0 {
+		return nil, fmt.Errorf("needletail: value bound c must be positive, got %v", c)
+	}
+	return &Engine{table: table, col: col, c: c}, nil
+}
+
+// Table returns the underlying table.
+func (e *Engine) Table() Table { return e.table }
+
+// Device returns the simulated device being charged.
+func (e *Engine) Device() *disksim.Device { return e.table.Device() }
+
+// Universe exposes the table's groups as a dataset.Universe whose draws
+// sample through the engine.
+func (e *Engine) Universe() *dataset.Universe {
+	names := e.table.GroupNames()
+	groups := make([]dataset.Group, len(names))
+	for code, name := range names {
+		groups[code] = &engineGroup{eng: e, code: code, name: name}
+	}
+	return dataset.NewUniverse(e.c, groups...)
+}
+
+// Scan runs the SCAN baseline on the engine's column and returns the exact
+// group means, charging a full sequential pass.
+func (e *Engine) Scan() []float64 {
+	sums, counts := e.table.ScanAggregate(e.col)
+	means := make([]float64, len(sums))
+	for i := range sums {
+		if counts[i] > 0 {
+			means[i] = sums[i] / float64(counts[i])
+		}
+	}
+	return means
+}
+
+// UniverseWhere exposes the table's groups restricted to the rows matching
+// the given predicate bitmap (selection predicates, §6.3.3): the returned
+// universe's group i draws uniformly from {rows of group i} ∩ {pred}, via
+// the AND of the group's index bitmap with the predicate bitmap, exactly
+// as the paper describes for WHERE/HAVING clauses. Groups left empty by
+// the predicate are dropped. Materialized tables only.
+func (e *Engine) UniverseWhere(pred *Bitmap) (*dataset.Universe, error) {
+	mt, ok := e.table.(*MaterializedTable)
+	if !ok {
+		return nil, fmt.Errorf("needletail: predicates require a materialized table")
+	}
+	var groups []dataset.Group
+	for code, name := range mt.GroupNames() {
+		bm := mt.bitmaps[code].And(pred)
+		if bm.Count() == 0 {
+			continue
+		}
+		groups = append(groups, &predicateGroup{eng: e, table: mt, bitmap: bm, name: name})
+	}
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("needletail: predicate matches no rows")
+	}
+	return dataset.NewUniverse(e.c, groups...), nil
+}
+
+// predicateGroup samples uniformly from a precomputed (group ∩ predicate)
+// bitmap. It supports without-replacement draws via a rank permutation,
+// like engineGroup.
+type predicateGroup struct {
+	eng    *Engine
+	table  *MaterializedTable
+	bitmap *Bitmap
+	name   string
+
+	perm []int32
+	next int
+}
+
+// Name returns the group's name.
+func (g *predicateGroup) Name() string { return g.name }
+
+// Size returns the number of matching rows.
+func (g *predicateGroup) Size() int64 { return int64(g.bitmap.Count()) }
+
+// Draw samples one matching row's value.
+func (g *predicateGroup) Draw(r *xrand.RNG) float64 {
+	g.table.device.ChargeSampleCPU(1)
+	pos, err := g.bitmap.Select(r.Intn(g.bitmap.Count()))
+	if err != nil {
+		panic(err)
+	}
+	return g.table.readValue(int64(pos), g.eng.col)
+}
+
+// TrueMean scans the matching rows — verification oracle only.
+func (g *predicateGroup) TrueMean() float64 {
+	sum, n := 0.0, 0
+	g.bitmap.ForEach(func(pos int) bool {
+		page := int64(pos) / int64(g.table.perPage)
+		off := (pos % g.table.perPage) * g.table.rowWidth
+		raw := g.table.pages[page][off+4+8*g.eng.col : off+4+8*g.eng.col+8]
+		sum += mathFloat64frombits(leUint64(raw))
+		n++
+		return true
+	})
+	return sum / float64(n)
+}
+
+// DrawWithoutReplacement consumes a random permutation of matching rows.
+func (g *predicateGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
+	count := g.bitmap.Count()
+	if g.next >= count {
+		return 0, false
+	}
+	if g.perm == nil {
+		g.perm = make([]int32, count)
+		for i := range g.perm {
+			g.perm[i] = int32(i)
+		}
+	}
+	j := g.next + r.Intn(count-g.next)
+	g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
+	rank := int(g.perm[g.next])
+	g.next++
+	g.table.device.ChargeSampleCPU(1)
+	pos, err := g.bitmap.Select(rank)
+	if err != nil {
+		panic(err)
+	}
+	return g.table.readValue(int64(pos), g.eng.col), true
+}
+
+// ResetDraws restarts without-replacement sampling.
+func (g *predicateGroup) ResetDraws() { g.perm = nil; g.next = 0 }
+
+// FractionEstimator returns a dataset.FractionEstimator that estimates
+// group fractional sizes by membership sampling: draw a uniformly random
+// row of the whole table and test whether it belongs to the group. The
+// membership test runs against the in-memory index (the bitmap or the
+// virtual spec), so it costs CPU but no I/O — matching the paper's remark
+// that NEEDLETAIL retrieves this information "without doing any disk
+// seeks".
+func (e *Engine) FractionEstimator() dataset.FractionEstimator {
+	return &engineFractionEstimator{eng: e}
+}
+
+type engineFractionEstimator struct {
+	eng *Engine
+}
+
+// DrawFractionEstimate returns 1 if a uniformly random row belongs to
+// group i, else 0 — an unbiased Bernoulli(s_i) estimate.
+func (f *engineFractionEstimator) DrawFractionEstimate(i int, r *xrand.RNG) float64 {
+	t := f.eng.table
+	t.Device().ChargeSampleCPU(1)
+	row := r.Int64n(t.NumRows())
+	if mt, ok := t.(*MaterializedTable); ok {
+		if mt.bitmaps[i].Get(int(row)) {
+			return 1
+		}
+		return 0
+	}
+	// Virtual layout places each group's rows contiguously, so a uniform
+	// row id is a membership test against the group's extent.
+	var lo int64
+	for c := 0; c < i; c++ {
+		lo += t.GroupSize(c)
+	}
+	if row >= lo && row < lo+t.GroupSize(i) {
+		return 1
+	}
+	return 0
+}
+
+// engineGroup adapts one table group to dataset.Group. Draws are with
+// replacement through the bitmap index; on materialized tables the group
+// additionally supports exact without-replacement sampling via a lazily
+// built permutation over the group's bitmap ranks.
+type engineGroup struct {
+	eng  *Engine
+	code int
+	name string
+
+	perm []int32
+	next int
+}
+
+// Name returns the group's name.
+func (g *engineGroup) Name() string { return g.name }
+
+// Size returns the group's row count.
+func (g *engineGroup) Size() int64 { return g.eng.table.GroupSize(g.code) }
+
+// Draw samples one row of the group through the index.
+func (g *engineGroup) Draw(r *xrand.RNG) float64 {
+	return g.eng.table.SampleRow(g.code, g.eng.col, r)
+}
+
+// DrawWithoutReplacement consumes a uniform random permutation of the
+// group's rows, built lazily over the bitmap ranks so that consuming only a
+// few samples costs O(samples). On virtual tables it reports false, which
+// makes the sampler fall back to with-replacement draws (the statistically
+// indistinguishable regime virtual tables exist for).
+func (g *engineGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
+	mt, ok := g.eng.table.(*MaterializedTable)
+	if !ok {
+		return 0, false
+	}
+	count := int(mt.GroupSize(g.code))
+	if g.next >= count {
+		return 0, false
+	}
+	if g.perm == nil {
+		g.perm = make([]int32, count)
+		for i := range g.perm {
+			g.perm[i] = int32(i)
+		}
+	}
+	j := g.next + r.Intn(count-g.next)
+	g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
+	rank := int(g.perm[g.next])
+	g.next++
+	mt.device.ChargeSampleCPU(1)
+	pos, err := mt.bitmaps[g.code].Select(rank)
+	if err != nil {
+		panic(err) // rank < count by construction
+	}
+	return mt.readValue(int64(pos), g.eng.col), true
+}
+
+// ResetDraws restarts without-replacement sampling.
+func (g *engineGroup) ResetDraws() { g.perm = nil; g.next = 0 }
+
+// TrueMean computes the exact mean — for verification only. On a
+// materialized table this scans the group's bitmap without charging the
+// device (it is an oracle, not a query); on a virtual table it is the
+// analytical mean.
+func (g *engineGroup) TrueMean() float64 {
+	switch t := g.eng.table.(type) {
+	case *MaterializedTable:
+		sum, n := 0.0, 0
+		t.bitmaps[g.code].ForEach(func(pos int) bool {
+			page := int64(pos) / int64(t.perPage)
+			off := (pos % t.perPage) * t.rowWidth
+			raw := t.pages[page][off+4+8*g.eng.col : off+4+8*g.eng.col+8]
+			sum += mathFloat64frombits(leUint64(raw))
+			n++
+			return true
+		})
+		return sum / float64(n)
+	case *VirtualTable:
+		return t.specs[g.code].Dists[g.eng.col].Mean()
+	default:
+		panic("needletail: unknown table type")
+	}
+}
+
+func leUint64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,165 @@
+package needletail
+
+import "math/bits"
+
+// RLEBitmap is a word-aligned run-length-compressed bitmap in the style of
+// WAH/EWAH (the compression family the paper cites for NEEDLETAIL's
+// indexes). The encoding alternates two kinds of 64-bit entries:
+//
+//   - fill words:    header bit 1, fill-value bit, 62-bit run length
+//     (a run of identical all-zero or all-one 64-bit words);
+//   - literal words: header bit 0 is implied by position — each fill header
+//     carries the count of literal words that follow it.
+//
+// Concretely the stream is a sequence of (header, literals...) groups:
+// header = 1-bit fill value | 31-bit fill run | 32-bit literal count.
+// This is EWAH's layout and compresses clustered attributes (like a group-by
+// column in insertion order) by orders of magnitude.
+type RLEBitmap struct {
+	stream []uint64
+	n      int // bits covered
+	count  int // set bits
+}
+
+const (
+	rleFillBit   = 63
+	rleRunShift  = 32
+	rleRunMask   = (1 << 31) - 1
+	rleLitMask   = (1 << 32) - 1
+	maxFillRun   = rleRunMask
+	maxLiteralCt = rleLitMask
+)
+
+// Compress encodes a plain bitmap.
+func Compress(b *Bitmap) *RLEBitmap {
+	out := &RLEBitmap{n: b.n, count: b.Count()}
+	words := b.words
+	i := 0
+	for i < len(words) {
+		// Measure a fill run (all zeros or all ones).
+		fillVal := uint64(0)
+		run := 0
+		if words[i] == 0 || words[i] == ^uint64(0) {
+			if words[i] != 0 {
+				fillVal = 1
+			}
+			for i < len(words) && run < maxFillRun {
+				if (fillVal == 0 && words[i] != 0) || (fillVal == 1 && words[i] != ^uint64(0)) {
+					break
+				}
+				run++
+				i++
+			}
+		}
+		// Measure the literal stretch that follows.
+		start := i
+		for i < len(words) && i-start < maxLiteralCt {
+			if words[i] == 0 || words[i] == ^uint64(0) {
+				// A single homogeneous word mid-stream is cheaper as a
+				// literal only if it does not start a longer run.
+				if i+1 < len(words) && (words[i+1] == words[i]) {
+					break
+				}
+				if i+1 >= len(words) {
+					// trailing homogeneous word: let the next header take it
+					break
+				}
+			}
+			i++
+		}
+		lits := i - start
+		header := fillVal<<rleFillBit | uint64(run)<<rleRunShift | uint64(lits)
+		out.stream = append(out.stream, header)
+		out.stream = append(out.stream, words[start:start+lits]...)
+	}
+	return out
+}
+
+// Decompress expands back to a plain bitmap.
+func (r *RLEBitmap) Decompress() *Bitmap {
+	b := NewBitmap(r.n)
+	wi := 0
+	for s := 0; s < len(r.stream); {
+		header := r.stream[s]
+		s++
+		fillVal := header >> rleFillBit
+		run := int(header >> rleRunShift & rleRunMask)
+		lits := int(header & rleLitMask)
+		if fillVal == 1 {
+			for j := 0; j < run; j++ {
+				b.words[wi+j] = ^uint64(0)
+			}
+		}
+		wi += run
+		copy(b.words[wi:wi+lits], r.stream[s:s+lits])
+		s += lits
+		wi += lits
+	}
+	// Mask any trailing garbage beyond n (possible when n%64 != 0 and a
+	// one-fill covered the final partial word).
+	if rem := r.n % wordBits; rem != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= 1<<uint(rem) - 1
+	}
+	b.dirty()
+	return b
+}
+
+// Len returns the number of rows covered.
+func (r *RLEBitmap) Len() int { return r.n }
+
+// Count returns the number of set bits.
+func (r *RLEBitmap) Count() int { return r.count }
+
+// CompressedWords returns the size of the encoded stream in 64-bit words,
+// for compression-ratio reporting.
+func (r *RLEBitmap) CompressedWords() int { return len(r.stream) }
+
+// PlainWords returns the size an uncompressed bitmap of the same coverage
+// would occupy, in 64-bit words.
+func (r *RLEBitmap) PlainWords() int { return (r.n + wordBits - 1) / wordBits }
+
+// ForEach calls fn with each set bit position in ascending order; returning
+// false stops the iteration. Iteration works directly on the compressed
+// stream without decompressing.
+func (r *RLEBitmap) ForEach(fn func(pos int) bool) {
+	wi := 0
+	for s := 0; s < len(r.stream); {
+		header := r.stream[s]
+		s++
+		fillVal := header >> rleFillBit
+		run := int(header >> rleRunShift & rleRunMask)
+		lits := int(header & rleLitMask)
+		if fillVal == 1 {
+			for j := 0; j < run; j++ {
+				base := (wi + j) * wordBits
+				for o := 0; o < wordBits; o++ {
+					pos := base + o
+					if pos >= r.n {
+						return
+					}
+					if !fn(pos) {
+						return
+					}
+				}
+			}
+		}
+		wi += run
+		for j := 0; j < lits; j++ {
+			w := r.stream[s+j]
+			base := (wi + j) * wordBits
+			for w != 0 {
+				t := bits.TrailingZeros64(w)
+				pos := base + t
+				if pos >= r.n {
+					return
+				}
+				if !fn(pos) {
+					return
+				}
+				w &= w - 1
+			}
+		}
+		s += lits
+		wi += lits
+	}
+}

@@ -1,0 +1,126 @@
+package needletail
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/xrand"
+)
+
+func TestRLERoundTripClustered(t *testing.T) {
+	// A clustered bitmap (one contiguous run of 1s) must compress well and
+	// round-trip exactly.
+	n := 100_000
+	b := NewBitmap(n)
+	for i := 30_000; i < 60_000; i++ {
+		b.Set(i)
+	}
+	c := Compress(b)
+	if c.Count() != b.Count() || c.Len() != n {
+		t.Fatalf("metadata mismatch: %d/%d", c.Count(), c.Len())
+	}
+	if c.CompressedWords()*10 > c.PlainWords() {
+		t.Fatalf("clustered bitmap barely compressed: %d of %d words",
+			c.CompressedWords(), c.PlainWords())
+	}
+	d := c.Decompress()
+	for i := 0; i < n; i++ {
+		if b.Get(i) != d.Get(i) {
+			t.Fatalf("bit %d lost in round trip", i)
+		}
+	}
+}
+
+func TestRLERoundTripProperty(t *testing.T) {
+	r := xrand.New(2)
+	check := func(nRaw uint16, density uint8, clusters uint8) bool {
+		n := 1 + int(nRaw%3000)
+		b := NewBitmap(n)
+		// Mix of random bits and runs to hit literal and fill paths.
+		p := float64(density) / 255
+		for i := 0; i < n; i++ {
+			if r.Float64() < p {
+				b.Set(i)
+			}
+		}
+		for c := 0; c < int(clusters%4); c++ {
+			start := r.Intn(n)
+			end := start + r.Intn(n-start)
+			for i := start; i < end; i++ {
+				b.Set(i)
+			}
+		}
+		c := Compress(b)
+		d := c.Decompress()
+		if d.Count() != b.Count() {
+			return false
+		}
+		for w := range b.words {
+			if b.words[w] != d.words[w] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRLEEdgeCases(t *testing.T) {
+	// All zeros.
+	z := Compress(NewBitmap(1000))
+	if z.Count() != 0 || z.Decompress().Count() != 0 {
+		t.Fatal("all-zero round trip failed")
+	}
+	// All ones, non-word-aligned length.
+	n := 1000
+	b := NewBitmap(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	c := Compress(b)
+	d := c.Decompress()
+	if d.Count() != n {
+		t.Fatalf("all-ones count %d, want %d", d.Count(), n)
+	}
+	// One bit at the very end.
+	b2 := NewBitmap(129)
+	b2.Set(128)
+	if got := Compress(b2).Decompress(); !got.Get(128) || got.Count() != 1 {
+		t.Fatal("final-bit round trip failed")
+	}
+}
+
+func TestRLEForEachMatchesPlain(t *testing.T) {
+	r := xrand.New(3)
+	n := 5000
+	b := NewBitmap(n)
+	for i := 0; i < n; i++ {
+		if r.Float64() < 0.1 {
+			b.Set(i)
+		}
+	}
+	// A solid run exercises the fill path of ForEach.
+	for i := 1024; i < 2048; i++ {
+		b.Set(i)
+	}
+	c := Compress(b)
+	var plain, compressed []int
+	b.ForEach(func(pos int) bool { plain = append(plain, pos); return true })
+	c.ForEach(func(pos int) bool { compressed = append(compressed, pos); return true })
+	if len(plain) != len(compressed) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(compressed))
+	}
+	for i := range plain {
+		if plain[i] != compressed[i] {
+			t.Fatalf("position %d differs: %d vs %d", i, plain[i], compressed[i])
+		}
+	}
+	// Early stop.
+	seen := 0
+	c.ForEach(func(pos int) bool { seen++; return seen < 5 })
+	if seen != 5 {
+		t.Fatalf("stop ignored: %d", seen)
+	}
+}

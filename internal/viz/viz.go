@@ -1,0 +1,148 @@
+// Package viz renders the visualizations the sampling algorithms feed:
+// text bar charts with optional confidence-interval error bars, trend
+// lines, and the ordering/resolution comparisons used to validate output
+// against ground truth. Rendering is plain text so examples and CLI tools
+// work everywhere; the layer is deliberately independent of how estimates
+// were produced.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bar is one group of a bar chart.
+type Bar struct {
+	// Label names the group.
+	Label string
+	// Value is the bar height (the estimate ν).
+	Value float64
+	// Err is the confidence half-width; zero hides the error bar.
+	Err float64
+}
+
+// BarChart renders a horizontal text bar chart. Width is the maximum bar
+// width in characters; bars scale linearly from zero to the largest
+// value+err. A value marker '|' shows the ±Err interval ends when Err > 0.
+func BarChart(bars []Bar, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxVal := 0.0
+	maxLabel := 0
+	for _, b := range bars {
+		if v := b.Value + b.Err; v > maxVal {
+			maxVal = v
+		}
+		if len(b.Label) > maxLabel {
+			maxLabel = len(b.Label)
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var sb strings.Builder
+	for _, b := range bars {
+		n := int(math.Round(b.Value / maxVal * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&sb, "%-*s %s", maxLabel, b.Label, strings.Repeat("█", n))
+		if b.Err > 0 {
+			lo := int(math.Round((b.Value - b.Err) / maxVal * float64(width)))
+			hi := int(math.Round((b.Value + b.Err) / maxVal * float64(width)))
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > lo {
+				// Extend dashes from the bar end to the upper CI bound.
+				if hi > n {
+					sb.WriteString(strings.Repeat("─", hi-n))
+				}
+				fmt.Fprintf(&sb, " %.2f ±%.2f", b.Value, b.Err)
+			} else {
+				fmt.Fprintf(&sb, " %.2f", b.Value)
+			}
+		} else {
+			fmt.Fprintf(&sb, " %.2f", b.Value)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TrendLine renders a text sparkline of the series using eighth-block
+// characters, preceded by min/max annotations — the trend-line counterpart
+// of BarChart for Problem 3 outputs.
+func TrendLine(labels []string, values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	span := hi - lo
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "[%.2f … %.2f] ", lo, hi)
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(blocks)-1))
+		}
+		sb.WriteRune(blocks[idx])
+	}
+	sb.WriteByte('\n')
+	if len(labels) == len(values) {
+		fmt.Fprintf(&sb, "%s … %s\n", labels[0], labels[len(labels)-1])
+	}
+	return sb.String()
+}
+
+// SortedByValue returns a copy of the bars sorted descending by value —
+// the order a "which group wins" visualization presents.
+func SortedByValue(bars []Bar) []Bar {
+	out := append([]Bar(nil), bars...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Value > out[j].Value })
+	return out
+}
+
+// Table renders rows as a fixed-width text table with the given headers,
+// used by the experiment harness to print paper-style tables.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}

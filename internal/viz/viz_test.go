@@ -1,0 +1,93 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasics(t *testing.T) {
+	out := BarChart([]Bar{
+		{Label: "aa", Value: 10},
+		{Label: "bbb", Value: 20},
+	}, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines: %q", out)
+	}
+	if !strings.Contains(lines[0], "aa") || !strings.Contains(lines[1], "bbb") {
+		t.Fatalf("labels missing: %q", out)
+	}
+	// The larger bar must be longer.
+	if strings.Count(lines[1], "█") <= strings.Count(lines[0], "█") {
+		t.Fatalf("bar lengths not monotone: %q", out)
+	}
+	// Values annotated.
+	if !strings.Contains(lines[0], "10.00") {
+		t.Fatalf("value missing: %q", out)
+	}
+}
+
+func TestBarChartErrorBars(t *testing.T) {
+	out := BarChart([]Bar{{Label: "g", Value: 10, Err: 5}}, 40)
+	if !strings.Contains(out, "±5.00") {
+		t.Fatalf("error bar missing: %q", out)
+	}
+	if !strings.Contains(out, "─") {
+		t.Fatalf("CI whisker missing: %q", out)
+	}
+}
+
+func TestBarChartZeroAndDefaults(t *testing.T) {
+	// Zero width falls back; zero values do not divide by zero.
+	out := BarChart([]Bar{{Label: "z", Value: 0}}, 0)
+	if !strings.Contains(out, "z") {
+		t.Fatalf("degenerate chart: %q", out)
+	}
+}
+
+func TestTrendLine(t *testing.T) {
+	out := TrendLine([]string{"jan", "feb", "mar"}, []float64{1, 5, 3})
+	if !strings.Contains(out, "jan") || !strings.Contains(out, "mar") {
+		t.Fatalf("labels missing: %q", out)
+	}
+	if !strings.Contains(out, "[1.00 … 5.00]") {
+		t.Fatalf("range missing: %q", out)
+	}
+	if TrendLine(nil, nil) != "" {
+		t.Fatal("empty series should render empty")
+	}
+	// Flat series must not divide by zero.
+	if out := TrendLine([]string{"a", "b"}, []float64{2, 2}); out == "" {
+		t.Fatal("flat series empty")
+	}
+}
+
+func TestSortedByValue(t *testing.T) {
+	in := []Bar{{Label: "a", Value: 1}, {Label: "b", Value: 3}, {Label: "c", Value: 2}}
+	out := SortedByValue(in)
+	if out[0].Label != "b" || out[1].Label != "c" || out[2].Label != "a" {
+		t.Fatalf("sorted %v", out)
+	}
+	// Input untouched.
+	if in[0].Label != "a" {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestTable(t *testing.T) {
+	out := Table([]string{"col1", "c2"}, [][]string{
+		{"a", "123456"},
+		{"bb", "7"},
+	})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines: %q", out)
+	}
+	// All rows align to the same width.
+	if len(lines[0]) != len(lines[1]) {
+		t.Fatalf("header/separator misaligned:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[1], "----") {
+		t.Fatalf("separator missing: %q", lines[1])
+	}
+}

@@ -1,0 +1,233 @@
+// Package workload generates the paper's experimental datasets.
+//
+// Synthetic families (§5.2): truncated normals ("truncnorm"), mixtures of
+// truncated normals ("mixture", the paper's default), two-point Bernoulli
+// groups ("bernoulli"), and the difficulty-controlled hard Bernoulli
+// ("hard", means 40 + γ·i so that η = γ exactly). Each generator can emit
+// either virtual (distribution-backed) groups for the large-scale sweeps or
+// materialized slices for exact without-replacement runs and NEEDLETAIL
+// tables.
+//
+// The flights generator substitutes for the paper's FAA flight-records
+// dataset (see DESIGN.md §5): it synthesizes per-airline Elapsed Time,
+// Arrival Delay and Departure Delay distributions with the structure that
+// drives Table 3 — clusters of airlines with near-identical means (hard
+// pairs) plus a few clear outliers, heavy right tails, values bounded by
+// the paper's c (24 hours for delays).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// DomainBound is the value bound c shared by all synthetic families: every
+// generated value lies in [0, 100].
+const DomainBound = 100.0
+
+// Kind enumerates the synthetic dataset families of §5.2.
+type Kind int
+
+// Synthetic dataset families.
+const (
+	// TruncNorm draws each group from one truncated normal with mean
+	// U[0,100] and variance from {4, 25, 64, 100}.
+	TruncNorm Kind = iota
+	// MixtureKind draws each group from a mixture of 1–5 truncated normals
+	// with means U[0,100] and variances U[1,10]; the paper's default.
+	MixtureKind
+	// BernoulliKind draws each group from {0, 100} with a mean U[0,100].
+	BernoulliKind
+	// HardKind fixes group i's mean at 40 + γ·i over {0, 100} draws, so the
+	// instance difficulty c²/η² is controlled exactly by γ.
+	HardKind
+)
+
+// String names the family the way the paper's figures do.
+func (k Kind) String() string {
+	switch k {
+	case TruncNorm:
+		return "truncnorm"
+	case MixtureKind:
+		return "mixture"
+	case BernoulliKind:
+		return "bernoulli"
+	case HardKind:
+		return "hard"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Config parameterizes a synthetic dataset.
+type Config struct {
+	// Kind selects the family.
+	Kind Kind
+	// K is the number of groups.
+	K int
+	// TotalRows is the total dataset size; rows are split across groups by
+	// Proportions (equal split when nil).
+	TotalRows int64
+	// Proportions optionally gives each group's share of TotalRows; it must
+	// sum to ~1. Used by the skew experiment (Figure 7(a)).
+	Proportions []float64
+	// Gamma is the mean spacing of the hard family (η = γ).
+	Gamma float64
+	// StdDev fixes the truncnorm standard deviation (0 = the paper's random
+	// choice from {2, 5, 8, 10}); used by Figures 7(b) and 7(c).
+	StdDev float64
+	// Seed drives all randomness in the dataset's construction.
+	Seed uint64
+}
+
+// groupSizes splits TotalRows per the proportions.
+func (c Config) groupSizes() ([]int64, error) {
+	if c.K <= 0 {
+		return nil, fmt.Errorf("workload: need at least one group, got %d", c.K)
+	}
+	if c.TotalRows < int64(c.K) {
+		return nil, fmt.Errorf("workload: %d rows cannot cover %d groups", c.TotalRows, c.K)
+	}
+	sizes := make([]int64, c.K)
+	if c.Proportions == nil {
+		per := c.TotalRows / int64(c.K)
+		for i := range sizes {
+			sizes[i] = per
+		}
+		sizes[c.K-1] += c.TotalRows - per*int64(c.K)
+		return sizes, nil
+	}
+	if len(c.Proportions) != c.K {
+		return nil, fmt.Errorf("workload: %d proportions for %d groups", len(c.Proportions), c.K)
+	}
+	var used int64
+	for i, p := range c.Proportions {
+		if p <= 0 {
+			return nil, fmt.Errorf("workload: proportion %d is non-positive", i)
+		}
+		sizes[i] = int64(p * float64(c.TotalRows))
+		if sizes[i] == 0 {
+			sizes[i] = 1
+		}
+		used += sizes[i]
+	}
+	sizes[c.K-1] += c.TotalRows - used
+	if sizes[c.K-1] <= 0 {
+		return nil, fmt.Errorf("workload: proportions overflow the row budget")
+	}
+	return sizes, nil
+}
+
+// dists builds the per-group distributions for the config.
+func (c Config) dists(rng *xrand.RNG) ([]xrand.Dist, error) {
+	dists := make([]xrand.Dist, c.K)
+	switch c.Kind {
+	case TruncNorm:
+		variances := []float64{4, 25, 64, 100}
+		for i := range dists {
+			mu := rng.Float64() * DomainBound
+			var sigma float64
+			if c.StdDev > 0 {
+				sigma = c.StdDev
+			} else {
+				v := variances[rng.Intn(len(variances))]
+				sigma = sqrt(v)
+			}
+			dists[i] = xrand.TruncNormal{Mu: mu, Sigma: sigma, Lo: 0, Hi: DomainBound}
+		}
+	case MixtureKind:
+		for i := range dists {
+			n := 1 + rng.Intn(5)
+			comps := make([]xrand.Dist, n)
+			weights := make([]float64, n)
+			for j := 0; j < n; j++ {
+				mu := rng.Float64() * DomainBound
+				v := 1 + 9*rng.Float64()
+				comps[j] = xrand.TruncNormal{Mu: mu, Sigma: sqrt(v), Lo: 0, Hi: DomainBound}
+				weights[j] = 1
+			}
+			dists[i] = xrand.NewMixture(comps, weights)
+		}
+	case BernoulliKind:
+		for i := range dists {
+			mean := rng.Float64() * DomainBound
+			dists[i] = xrand.NewBernoulliWithMean(0, DomainBound, mean)
+		}
+	case HardKind:
+		if c.Gamma <= 0 || c.Gamma >= 2 {
+			return nil, fmt.Errorf("workload: hard family needs gamma in (0,2), got %v", c.Gamma)
+		}
+		for i := range dists {
+			mean := 40 + c.Gamma*float64(i)
+			dists[i] = xrand.NewBernoulliWithMean(0, DomainBound, mean)
+		}
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %v", c.Kind)
+	}
+	return dists, nil
+}
+
+// Virtual generates a universe of distribution-backed groups (no
+// materialization): the form used for the paper's 10⁷–10¹⁰-row sweeps.
+func Virtual(c Config) (*dataset.Universe, error) {
+	rng := xrand.New(c.Seed)
+	sizes, err := c.groupSizes()
+	if err != nil {
+		return nil, err
+	}
+	dists, err := c.dists(rng)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]dataset.Group, c.K)
+	for i := range groups {
+		groups[i] = dataset.NewDistGroup(groupName(i), dists[i], sizes[i])
+	}
+	return dataset.NewUniverse(DomainBound, groups...), nil
+}
+
+// Materialize generates a universe of fully materialized groups drawn from
+// the same distributions, enabling exact without-replacement sampling and
+// SCAN. Memory is 8 bytes per row; keep TotalRows modest.
+func Materialize(c Config) (*dataset.Universe, error) {
+	rng := xrand.New(c.Seed)
+	sizes, err := c.groupSizes()
+	if err != nil {
+		return nil, err
+	}
+	dists, err := c.dists(rng)
+	if err != nil {
+		return nil, err
+	}
+	groups := make([]dataset.Group, c.K)
+	for i := range groups {
+		vals := make([]float64, sizes[i])
+		for j := range vals {
+			vals[j] = dists[i].Sample(rng)
+		}
+		groups[i] = dataset.NewSliceGroup(groupName(i), vals)
+	}
+	return dataset.NewUniverse(DomainBound, groups...), nil
+}
+
+// Dists exposes the per-group distributions for a config (used to build
+// NEEDLETAIL virtual tables with the same populations).
+func Dists(c Config) ([]xrand.Dist, []int64, error) {
+	rng := xrand.New(c.Seed)
+	sizes, err := c.groupSizes()
+	if err != nil {
+		return nil, nil, err
+	}
+	dists, err := c.dists(rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return dists, sizes, nil
+}
+
+func groupName(i int) string { return fmt.Sprintf("g%02d", i) }
+
+func sqrt(v float64) float64 { return math.Sqrt(v) }

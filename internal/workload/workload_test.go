@@ -1,0 +1,238 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		TruncNorm: "truncnorm", MixtureKind: "mixture",
+		BernoulliKind: "bernoulli", HardKind: "hard", Kind(99): "Kind(99)",
+	}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%v != %s", k, want)
+		}
+	}
+}
+
+func TestVirtualBasics(t *testing.T) {
+	for _, kind := range []Kind{TruncNorm, MixtureKind, BernoulliKind} {
+		u, err := Virtual(Config{Kind: kind, K: 10, TotalRows: 1_000_000, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if u.K() != 10 || u.TotalSize() != 1_000_000 {
+			t.Fatalf("%v: shape %d/%d", kind, u.K(), u.TotalSize())
+		}
+		for _, m := range u.TrueMeans() {
+			if m < 0 || m > DomainBound {
+				t.Fatalf("%v: mean %v out of domain", kind, m)
+			}
+		}
+	}
+}
+
+func TestVirtualDeterministic(t *testing.T) {
+	a, err := Virtual(Config{Kind: MixtureKind, K: 5, TotalRows: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Virtual(Config{Kind: MixtureKind, K: 5, TotalRows: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	am, bm := a.TrueMeans(), b.TrueMeans()
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatal("same seed produced different datasets")
+		}
+	}
+	c, err := Virtual(Config{Kind: MixtureKind, K: 5, TotalRows: 1000, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := c.TrueMeans()
+	same := true
+	for i := range am {
+		if am[i] != cm[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical datasets")
+	}
+}
+
+func TestHardFamilyEta(t *testing.T) {
+	u, err := Virtual(Config{Kind: HardKind, K: 10, TotalRows: 1000, Gamma: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := u.TrueMeans()
+	for i, m := range means {
+		want := 40 + 0.5*float64(i)
+		if math.Abs(m-want) > 1e-9 {
+			t.Fatalf("hard mean %d = %v, want %v", i, m, want)
+		}
+	}
+	if eta := dataset.MinEta(means); math.Abs(eta-0.5) > 1e-9 {
+		t.Fatalf("hard eta %v, want gamma", eta)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Kind: MixtureKind, K: 0, TotalRows: 100},
+		{Kind: MixtureKind, K: 10, TotalRows: 5},
+		{Kind: HardKind, K: 5, TotalRows: 100, Gamma: 0},
+		{Kind: HardKind, K: 5, TotalRows: 100, Gamma: 2},
+		{Kind: Kind(42), K: 5, TotalRows: 100},
+		{Kind: MixtureKind, K: 3, TotalRows: 100, Proportions: []float64{0.5, 0.5}},
+		{Kind: MixtureKind, K: 2, TotalRows: 100, Proportions: []float64{0.5, -0.1}},
+	}
+	for i, cfg := range bad {
+		if _, err := Virtual(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestProportions(t *testing.T) {
+	props := []float64{0.7, 0.1, 0.1, 0.1}
+	u, err := Virtual(Config{Kind: MixtureKind, K: 4, TotalRows: 100_000, Proportions: props, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.TotalSize() != 100_000 {
+		t.Fatalf("total %d", u.TotalSize())
+	}
+	if frac := float64(u.Groups[0].Size()) / 100_000; math.Abs(frac-0.7) > 0.01 {
+		t.Fatalf("first group share %v", frac)
+	}
+}
+
+func TestMaterializeMatchesVirtualStatistically(t *testing.T) {
+	cfg := Config{Kind: TruncNorm, K: 4, TotalRows: 200_000, StdDev: 5, Seed: 3}
+	v, err := Virtual(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Materialize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same seed → same distributions; the materialized empirical means
+	// must track the virtual analytical means.
+	vm, mm := v.TrueMeans(), m.TrueMeans()
+	for i := range vm {
+		if math.Abs(vm[i]-mm[i]) > 0.5 {
+			t.Fatalf("group %d: virtual %v vs materialized %v", i, vm[i], mm[i])
+		}
+	}
+}
+
+func TestFlightsVirtual(t *testing.T) {
+	for _, attr := range FlightAttrs {
+		u, err := FlightsVirtual(attr, 10_000_000, 1)
+		if err != nil {
+			t.Fatalf("%v: %v", attr, err)
+		}
+		if u.K() != len(AirlineNames()) {
+			t.Fatalf("%v: %d airlines", attr, u.K())
+		}
+		if u.TotalSize() != 10_000_000 {
+			t.Fatalf("%v: total %d", attr, u.TotalSize())
+		}
+		for _, m := range u.TrueMeans() {
+			if m < 0 || m > FlightBound {
+				t.Fatalf("%v: mean %v out of bounds", attr, m)
+			}
+		}
+	}
+	if _, err := FlightsVirtual(ArrivalDelay, 3, 1); err == nil {
+		t.Fatal("tiny dataset accepted")
+	}
+}
+
+func TestFlightsDelayMeansMatchSpec(t *testing.T) {
+	// The synthetic generator must hit the per-airline delay means it
+	// advertises (they define the hard pairs that make Table 3 hard).
+	u, err := FlightsVirtual(ArrivalDelay, 1_000_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := AirlineNames()
+	for i, g := range u.Groups {
+		if g.Name() != names[i] {
+			t.Fatalf("airline order changed: %s vs %s", g.Name(), names[i])
+		}
+	}
+	// Spot-check two carriers with known spec means.
+	byName := map[string]float64{}
+	for _, g := range u.Groups {
+		byName[g.Name()] = g.TrueMean()
+	}
+	if math.Abs(byName["HA"]-2.5) > 1.5 {
+		t.Fatalf("HA mean %v too far from spec 2.5", byName["HA"])
+	}
+	if byName["EV"] < byName["WN"] {
+		t.Fatal("EV (worst delays) should exceed WN (best big carrier)")
+	}
+}
+
+func TestFlightsRows(t *testing.T) {
+	count := 0
+	seen := map[string]bool{}
+	err := FlightsRows(50_000, 4, func(r FlightRow) error {
+		count++
+		seen[r.Airline] = true
+		if r.Elapsed < 0 || r.Elapsed > FlightBound ||
+			r.ArrDelay < 0 || r.ArrDelay > FlightBound ||
+			r.DepDelay < 0 || r.DepDelay > FlightBound {
+			t.Fatalf("row out of bounds: %+v", r)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 50_000 {
+		t.Fatalf("callback count %d", count)
+	}
+	if len(seen) < 15 {
+		t.Fatalf("only %d airlines appeared", len(seen))
+	}
+}
+
+func TestFlightsRowsPropagatesError(t *testing.T) {
+	want := errSentinel{}
+	err := FlightsRows(100, 1, func(FlightRow) error { return want })
+	if err != want {
+		t.Fatalf("err %v", err)
+	}
+}
+
+type errSentinel struct{}
+
+func (errSentinel) Error() string { return "sentinel" }
+
+func TestDists(t *testing.T) {
+	dists, sizes, err := Dists(Config{Kind: BernoulliKind, K: 3, TotalRows: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dists) != 3 || len(sizes) != 3 {
+		t.Fatalf("lengths %d/%d", len(dists), len(sizes))
+	}
+	var total int64
+	for _, n := range sizes {
+		total += n
+	}
+	if total != 300 {
+		t.Fatalf("sizes sum %d", total)
+	}
+}

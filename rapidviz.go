@@ -1,0 +1,350 @@
+// Package rapidviz generates approximate visualizations with ordering
+// guarantees, implementing the sampling algorithms of "Rapid Sampling for
+// Visualizations with Ordering Guarantees" (Kim, Blais, Parameswaran,
+// Indyk, Madden, Rubinfeld — VLDB 2015).
+//
+// Given k groups of bounded numeric values (the result groups of a
+// SELECT X, AVG(Y) ... GROUP BY X query), Order returns per-group average
+// estimates whose *ordering* matches the true averages with probability at
+// least 1−δ — while sampling far fewer values than any scheme that first
+// nails down each average. The flagship algorithm, IFOCUS, concentrates
+// samples on the groups whose confidence intervals still overlap and stops
+// sampling a group the moment its interval separates; its sample complexity
+// is optimal up to log-log factors.
+//
+// Quick start:
+//
+//	groups := []rapidviz.Group{
+//		rapidviz.GroupFromValues("AA", delaysAA),
+//		rapidviz.GroupFromValues("JB", delaysJB),
+//	}
+//	res, err := rapidviz.Order(groups, rapidviz.Options{Bound: 24 * 60})
+//	fmt.Print(res.Render())
+//
+// Variants cover the paper's §6 extensions: Trend (adjacent-pair ordering
+// for trend lines and chloropleths), TopT (identify and order only the top
+// t groups), OrderWithValues (additionally bound each estimate's error),
+// OrderAllowingMistakes (trade a fraction of pairwise comparisons for
+// speed), Sum and Count aggregates, and NoIndex (no index on the group-by
+// attribute). Baselines RoundRobin and Refine are included for comparison.
+package rapidviz
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/viz"
+	"repro/internal/xrand"
+)
+
+// Group is a named collection of bounded numeric values that supports
+// uniform random sampling — one bar of the eventual chart.
+type Group = dataset.Group
+
+// GroupFromValues returns a fully materialized group. The slice is
+// retained; do not mutate it afterwards. Materialized groups support exact
+// sampling without replacement (the library default).
+func GroupFromValues(name string, values []float64) Group {
+	return dataset.NewSliceGroup(name, values)
+}
+
+// GroupFromFunc returns a group backed by a sampling function: each call
+// must return one value drawn uniformly at random (with replacement) from
+// the group's population of nominal size n. Use this to plug in an
+// external sampling engine (a database index, a service). Runs over
+// func-backed groups force sampling with replacement.
+func GroupFromFunc(name string, n int64, sample func() float64) Group {
+	return &funcGroup{name: name, n: n, sample: sample}
+}
+
+type funcGroup struct {
+	name   string
+	n      int64
+	sample func() float64
+}
+
+func (g *funcGroup) Name() string            { return g.name }
+func (g *funcGroup) Size() int64             { return g.n }
+func (g *funcGroup) Draw(*xrand.RNG) float64 { return g.sample() }
+func (g *funcGroup) TrueMean() float64       { return math.NaN() }
+
+// Options configures a run. The zero value is usable: it requests δ=0.05,
+// κ=1, sampling without replacement, and infers the value bound.
+type Options struct {
+	// Delta is the permitted probability that the returned ordering is
+	// wrong. Zero means 0.05.
+	Delta float64
+	// Bound is the value bound c: every value must lie in [0, Bound].
+	// Zero asks the library to use the maximum over materialized groups
+	// (func-backed groups require an explicit bound).
+	Bound float64
+	// Resolution relaxes the guarantee to Problem 2 of the paper: pairs of
+	// true averages within Resolution of each other may be ordered either
+	// way. Larger resolutions terminate (much) faster. Zero disables.
+	Resolution float64
+	// WithReplacement switches to with-replacement sampling (group sizes
+	// then need not be exact). Forced on for func-backed groups.
+	WithReplacement bool
+	// Seed makes the run deterministic; zero picks a fixed default seed
+	// (runs are deterministic by default — vary Seed for independence).
+	Seed uint64
+	// MaxRounds optionally caps sampling rounds as a safety valve; capped
+	// runs void the guarantee and are reported via Result.Capped.
+	MaxRounds int
+	// OnPartial, when non-nil, streams each group's estimate the moment it
+	// settles (the paper's partial-results extension): analysts can start
+	// reading the chart before the contentious bars finish.
+	OnPartial func(group string, estimate float64)
+}
+
+func (o Options) normalize(groups []Group) (core.Options, *dataset.Universe, *xrand.RNG, error) {
+	if len(groups) == 0 {
+		return core.Options{}, nil, nil, fmt.Errorf("rapidviz: no groups")
+	}
+	opts := core.DefaultOptions()
+	if o.Delta != 0 {
+		opts.Delta = o.Delta
+	}
+	opts.Resolution = o.Resolution
+	opts.WithReplacement = o.WithReplacement
+	opts.MaxRounds = o.MaxRounds
+
+	bound := o.Bound
+	for _, g := range groups {
+		if _, ok := g.(*funcGroup); ok {
+			opts.WithReplacement = true
+			if o.Bound == 0 {
+				return core.Options{}, nil, nil, fmt.Errorf("rapidviz: func-backed group %q requires an explicit Options.Bound", g.Name())
+			}
+		}
+	}
+	if bound == 0 {
+		for _, g := range groups {
+			sg, ok := g.(*dataset.SliceGroup)
+			if !ok {
+				return core.Options{}, nil, nil, fmt.Errorf("rapidviz: cannot infer bound for group %q; set Options.Bound", g.Name())
+			}
+			for _, v := range sg.Values() {
+				if v < 0 {
+					return core.Options{}, nil, nil, fmt.Errorf("rapidviz: group %q has negative value %v; shift values into [0, c]", g.Name(), v)
+				}
+				if v > bound {
+					bound = v
+				}
+			}
+		}
+		if bound == 0 {
+			bound = 1
+		}
+	}
+	u := dataset.NewUniverse(bound, groups...)
+	seed := o.Seed
+	if seed == 0 {
+		seed = 0x5eedf00d
+	}
+	rng := xrand.New(seed)
+	if o.OnPartial != nil {
+		names := make([]string, len(groups))
+		for i, g := range groups {
+			names[i] = g.Name()
+		}
+		cb := o.OnPartial
+		opts.OnPartial = func(i int, est float64, round int) { cb(names[i], est) }
+	}
+	return opts, u, rng, nil
+}
+
+// Result reports a run: per-group estimates plus sampling cost.
+type Result struct {
+	// Names and Estimates are index-aligned; Estimates[i] is ν_i.
+	Names     []string
+	Estimates []float64
+	// SampleCounts are the per-group sample counts m_i; TotalSamples is
+	// their sum (the paper's sample complexity C).
+	SampleCounts []int64
+	TotalSamples int64
+	// Epsilon is the final confidence half-width: each estimate is within
+	// ±Epsilon of its true average with the run's confidence.
+	Epsilon float64
+	// Capped reports that MaxRounds fired; the guarantee is void.
+	Capped bool
+}
+
+func newResult(u *dataset.Universe, r *core.Result) *Result {
+	names := make([]string, u.K())
+	for i, g := range u.Groups {
+		names[i] = g.Name()
+	}
+	return &Result{
+		Names:        names,
+		Estimates:    r.Estimates,
+		SampleCounts: r.SampleCounts,
+		TotalSamples: r.TotalSamples,
+		Epsilon:      r.FinalEpsilon,
+		Capped:       r.Capped,
+	}
+}
+
+// Bars converts the result to renderable bars with error bars.
+func (r *Result) Bars() []viz.Bar {
+	bars := make([]viz.Bar, len(r.Names))
+	for i := range bars {
+		bars[i] = viz.Bar{Label: r.Names[i], Value: r.Estimates[i], Err: r.Epsilon}
+	}
+	return bars
+}
+
+// Render draws the result as a text bar chart.
+func (r *Result) Render() string { return viz.BarChart(r.Bars(), 50) }
+
+// RenderTrend draws the result as a text trend line (for Trend runs).
+func (r *Result) RenderTrend() string { return viz.TrendLine(r.Names, r.Estimates) }
+
+// Order estimates every group's average with the ordering guarantee, using
+// IFOCUS — the paper's optimal algorithm. With probability at least
+// 1−Delta, the returned estimates are ordered exactly as the true averages
+// (up to Options.Resolution, when set).
+func Order(groups []Group, o Options) (*Result, error) {
+	opts, u, rng, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.IFocus(u, rng, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(u, res), nil
+}
+
+// RoundRobin runs the conventional stratified-sampling baseline under the
+// same guarantee. It exists for comparison: expect several times the
+// samples of Order.
+func RoundRobin(groups []Group, o Options) (*Result, error) {
+	opts, u, rng, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RoundRobin(u, rng, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(u, res), nil
+}
+
+// Refine runs the interval-halving IREFINE variant: correct, simpler to
+// analyze, but provably non-optimal (expect more samples than Order).
+func Refine(groups []Group, o Options) (*Result, error) {
+	opts, u, rng, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.IRefine(u, rng, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(u, res), nil
+}
+
+// Exact computes the true averages by scanning every value of every group
+// (all groups must be materialized) — the SCAN baseline.
+func Exact(groups []Group, o Options) (*Result, error) {
+	_, u, _, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Scan(u)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(u, res), nil
+}
+
+// Trend estimates the averages with the weaker trend-line guarantee: only
+// *adjacent* groups (in the given order) are guaranteed to be ordered
+// correctly — the right property for time series and chloropleth maps, at
+// a fraction of Order's samples.
+func Trend(groups []Group, o Options) (*Result, error) {
+	opts, u, rng, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Trend(u, rng, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(u, res), nil
+}
+
+// TopTResult extends Result with the top-t selection.
+type TopTResult struct {
+	Result
+	// Top lists the names of the top-t groups, largest estimate first.
+	Top []string
+}
+
+// TopT identifies the t groups with the largest true averages and orders
+// them correctly among themselves, with probability at least 1−Delta.
+// Groups provably outside the top t stop being sampled early, the big
+// saving when k is large.
+func TopT(groups []Group, t int, o Options) (*TopTResult, error) {
+	opts, u, rng, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.TopT(u, rng, t, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := &TopTResult{Result: *newResult(u, &res.Result)}
+	for _, i := range res.Members {
+		out.Top = append(out.Top, u.Groups[i].Name())
+	}
+	return out, nil
+}
+
+// OrderWithValues adds a value guarantee on top of the ordering: every
+// estimate is within ±maxErr of its true average with probability 1−Delta.
+func OrderWithValues(groups []Group, maxErr float64, o Options) (*Result, error) {
+	opts, u, rng, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.WithValues(u, rng, maxErr, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(u, res), nil
+}
+
+// OrderAllowingMistakes terminates as soon as a fraction of at least
+// correctPairs of all pairwise comparisons is certain, skipping the
+// hardest comparisons (the paper's allowed-mistakes extension).
+// correctPairs must be in (0, 1].
+func OrderAllowingMistakes(groups []Group, correctPairs float64, o Options) (*Result, error) {
+	opts, u, rng, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.WithMistakes(u, rng, correctPairs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(u, res), nil
+}
+
+// Sum estimates per-group SUMs (rather than averages) with the ordering
+// guarantee. Group sizes must be known (materialized groups, or func
+// groups constructed with their true sizes).
+func Sum(groups []Group, o Options) (*Result, error) {
+	opts, u, rng, err := o.normalize(groups)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.SumKnownSizes(u, rng, opts)
+	if err != nil {
+		return nil, err
+	}
+	return newResult(u, res), nil
+}
