@@ -19,20 +19,29 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "figure/table id to regenerate (or 'all')")
-		scale = flag.String("scale", "default", "default | paper")
-		reps  = flag.Int("reps", 0, "override datasets per point")
-		sizes = flag.String("sizes", "", "override size sweep, comma-separated (e.g. 1e6,1e7)")
-		seed  = flag.Uint64("seed", 0, "override base seed")
-		base  = flag.Int64("base", 0, "override base dataset rows")
+		fig     = flag.String("fig", "all", "figure/table id to regenerate (or 'all')")
+		scale   = flag.String("scale", "default", "default | paper")
+		reps    = flag.Int("reps", 0, "override datasets per point")
+		sizes   = flag.String("sizes", "", "override size sweep, comma-separated (e.g. 1e6,1e7)")
+		seed    = flag.Uint64("seed", 0, "override base seed")
+		base    = flag.Int64("base", 0, "override base dataset rows")
+		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	)
 	flag.Parse()
+	if *timeout > 0 {
+		// The experiment runners predate context plumbing; a hard exit is
+		// the honest way to bound a paper-scale sweep from the CLI.
+		time.AfterFunc(*timeout, func() {
+			fatal("timed out after %v", *timeout)
+		})
+	}
 
 	s := experiments.DefaultScale()
 	if *scale == "paper" {

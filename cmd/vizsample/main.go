@@ -5,7 +5,13 @@
 // Usage:
 //
 //	vizsample -csv data.csv [-delta 0.05] [-resolution 0] [-algo ifocus]
+//	          [-agg avg] [-timeout 30s] [-stream]
 //	vizsample -demo              # run on a built-in synthetic dataset
+//
+// -algo selects the sampling strategy (ifocus | irefine | roundrobin |
+// scan | noindex), -agg the aggregate (avg | sum | count), -timeout bounds
+// the run via context cancellation, and -stream prints each group the
+// moment its estimate settles.
 //
 // The CSV must have two columns: a group label and a numeric value; a
 // header row is detected and skipped automatically.
@@ -13,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -29,8 +36,12 @@ func main() {
 		demo       = flag.Bool("demo", false, "use a built-in synthetic flight-delay dataset")
 		delta      = flag.Float64("delta", 0.05, "failure probability")
 		resolution = flag.Float64("resolution", 0, "visual resolution r (0 = exact ordering)")
-		algo       = flag.String("algo", "ifocus", "ifocus | roundrobin | irefine")
+		algo       = flag.String("algo", "ifocus", "ifocus | irefine | roundrobin | scan | noindex")
+		agg        = flag.String("agg", "avg", "avg | sum | count")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		timeout    = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
+		maxDraws   = flag.Int64("maxdraws", 0, "cap total draws for -algo noindex (0 = unlimited; the cap voids the guarantee)")
+		stream     = flag.Bool("stream", false, "print each group the moment its estimate settles")
 	)
 	flag.Parse()
 
@@ -49,29 +60,75 @@ func main() {
 		fatal(err)
 	}
 
-	opts := rapidviz.Options{Delta: *delta, Resolution: *resolution, Seed: *seed}
-	var run func([]rapidviz.Group, rapidviz.Options) (*rapidviz.Result, error)
+	q := rapidviz.Query{Delta: *delta, Resolution: *resolution, Seed: *seed, MaxDraws: *maxDraws}
 	switch *algo {
 	case "ifocus":
-		run = rapidviz.Order
-	case "roundrobin":
-		run = rapidviz.RoundRobin
+		q.Algorithm = rapidviz.AlgoIFocus
 	case "irefine":
-		run = rapidviz.Refine
+		q.Algorithm = rapidviz.AlgoIRefine
+	case "roundrobin":
+		q.Algorithm = rapidviz.AlgoRoundRobin
+	case "scan":
+		q.Algorithm = rapidviz.AlgoScan
+	case "noindex":
+		q.Algorithm = rapidviz.AlgoNoIndex
 	default:
 		fatal(fmt.Errorf("unknown algorithm %q", *algo))
 	}
+	switch *agg {
+	case "avg":
+		q.Aggregate = rapidviz.AggAvg
+	case "sum":
+		q.Aggregate = rapidviz.AggSum
+	case "count":
+		q.Aggregate = rapidviz.AggCount
+	default:
+		fatal(fmt.Errorf("unknown aggregate %q", *agg))
+	}
 
-	res, err := run(groups, opts)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	eng, err := rapidviz.NewEngine(rapidviz.EngineConfig{})
 	if err != nil {
 		fatal(err)
 	}
-	exact, err := rapidviz.Exact(groups, opts)
+
+	var res *rapidviz.Result
+	if *stream {
+		settled := 0
+		for ev := range eng.Stream(ctx, q, groups) {
+			switch {
+			case ev.Partial != nil:
+				settled++
+				fmt.Printf("  settled %2d/%d: %-12s %.3f (round %d)\n",
+					settled, len(groups), ev.Partial.Group, ev.Partial.Estimate, ev.Partial.Round)
+			case ev.Err != nil:
+				fatal(ev.Err)
+			default:
+				res = ev.Result
+			}
+		}
+		if res == nil {
+			fatal(fmt.Errorf("stream ended without a result (canceled?)"))
+		}
+	} else {
+		res, err = eng.Run(ctx, q, groups)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	exact, err := eng.Run(ctx, rapidviz.Query{Algorithm: rapidviz.AlgoScan}, groups)
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("%s (delta=%.3g", *algo, *delta)
+	fmt.Printf("%s/%s (delta=%.3g", *algo, *agg, *delta)
 	if *resolution > 0 {
 		fmt.Printf(", r=%g", *resolution)
 	}
@@ -79,7 +136,7 @@ func main() {
 		res.TotalSamples, exact.TotalSamples,
 		100*float64(res.TotalSamples)/float64(exact.TotalSamples))
 	fmt.Print(res.Render())
-	fmt.Println("\nexact (full scan):")
+	fmt.Println("\nexact AVG (full scan):")
 	fmt.Print(exact.Render())
 }
 

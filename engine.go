@@ -1,0 +1,438 @@
+package rapidviz
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// defaultSeed seeds non-deterministic queries that set no seed of their
+// own, so runs are reproducible by default. Vary Query.Seed (or set
+// Query.Deterministic with an explicit seed) for independent runs.
+const defaultSeed uint64 = 0x5eedf00d
+
+// EngineConfig holds an Engine's validated defaults. The zero value is
+// usable: δ=0.05, bound inferred per query, seed 0x5eedf00d, and one
+// worker per CPU.
+//
+// Defaults are inherited by queries that leave the matching field at its
+// zero value; a query can therefore raise but never zero-out a truthy
+// engine default (a Query cannot express "no resolution" on an engine
+// configured with one, nor without-replacement sampling on a
+// WithReplacement engine — use a separate engine for those workloads).
+type EngineConfig struct {
+	// Delta is the default failure probability. Zero means 0.05.
+	Delta float64
+	// Bound is the default value bound c. Zero defers to per-query bounds
+	// or inference from materialized groups.
+	Bound float64
+	// Resolution is the default visual resolution. Zero disables.
+	Resolution float64
+	// WithReplacement makes with-replacement sampling the default.
+	WithReplacement bool
+	// Seed is the seed of non-deterministic queries that set none. Zero
+	// means 0x5eedf00d.
+	Seed uint64
+	// MaxRounds is the default round cap. Zero means uncapped.
+	MaxRounds int
+	// Workers bounds the engine's total concurrency: at most Workers
+	// queries execute at once (further Run calls wait for a slot,
+	// honoring their context), and per-group work with no sampling-order
+	// dependence — bound inference and exact scans — fans out only over
+	// worker slots that are currently idle, so queries plus fan-out never
+	// exceed Workers goroutines in total. Zero means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// Engine executes Queries over groups. It is cheap to construct, safe for
+// concurrent use, and reusable across any number of queries: construct one
+// per service (or use the package-level default via the top-level
+// functions) and call Run from as many goroutines as you like — the
+// bounded worker pool keeps heavy concurrent traffic from oversubscribing
+// the host.
+type Engine struct {
+	cfg EngineConfig
+	sem chan struct{}
+}
+
+// NewEngine validates cfg and returns an Engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Delta == 0 {
+		cfg.Delta = 0.05
+	}
+	if cfg.Delta <= 0 || cfg.Delta >= 1 {
+		return nil, fmt.Errorf("rapidviz: engine Delta must be in (0,1), got %v", cfg.Delta)
+	}
+	if cfg.Bound < 0 {
+		return nil, fmt.Errorf("rapidviz: engine Bound must be non-negative, got %v", cfg.Bound)
+	}
+	if cfg.Resolution < 0 {
+		return nil, fmt.Errorf("rapidviz: engine Resolution must be non-negative, got %v", cfg.Resolution)
+	}
+	if cfg.MaxRounds < 0 {
+		return nil, fmt.Errorf("rapidviz: engine MaxRounds must be non-negative, got %d", cfg.MaxRounds)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("rapidviz: engine Workers must be non-negative, got %d", cfg.Workers)
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = defaultSeed
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{cfg: cfg, sem: make(chan struct{}, cfg.Workers)}, nil
+}
+
+// defaultEngine backs the package-level convenience functions and the
+// deprecated wrappers.
+var defaultEngine = sync.OnceValue(func() *Engine {
+	e, err := NewEngine(EngineConfig{})
+	if err != nil {
+		panic(err) // unreachable: the zero config is valid
+	}
+	return e
+})
+
+// DefaultEngine returns the shared engine with default configuration that
+// backs the package-level functions.
+func DefaultEngine() *Engine { return defaultEngine() }
+
+// Run executes q over groups and returns the complete result. It blocks
+// until the query finishes, a worker slot never frees, or ctx is canceled
+// — cancellation and deadlines are honored between sampling rounds, so Run
+// returns promptly with ctx.Err() even mid-query. A nil ctx means
+// context.Background().
+func (e *Engine) Run(ctx context.Context, q Query, groups []Group) (*Result, error) {
+	return e.run(ctx, q, groups, nil)
+}
+
+// Stream executes q like Run but returns immediately with a channel of
+// events: one Event per group the moment its estimate settles (the paper's
+// partial-results extension, §6.2.2), then exactly one terminal Event
+// carrying the Result or error, after which the channel is closed. The
+// terminal event is always delivered — including ctx.Err() on
+// cancellation. The channel is buffered for the worst case (one partial
+// per group plus the terminal event), so the query never blocks on a slow
+// or departed consumer and abandoning the channel cannot leak the query
+// goroutine or its worker slot.
+func (e *Engine) Stream(ctx context.Context, q Query, groups []Group) <-chan Event {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ch := make(chan Event, len(groups)+1)
+	go func() {
+		defer close(ch)
+		res, err := e.run(ctx, q, groups, func(i int, est float64, round int) {
+			p := &Partial{Group: groups[i].Name(), Index: i, Estimate: est, Round: round}
+			select {
+			case ch <- Event{Partial: p}:
+			case <-ctx.Done():
+				// Only reachable if an algorithm settles a group more than
+				// once (none does today): never block a canceled run.
+			}
+		})
+		// At most len(groups) partials precede this send, so a buffer slot
+		// is guaranteed: terminal delivery cannot block or be lost.
+		ch <- Event{Result: res, Err: err}
+	}()
+	return ch
+}
+
+// run is the one execution path behind Run, Stream, and every deprecated
+// wrapper: normalize and validate the query, acquire a worker slot, build
+// the universe, and dispatch through core.Run.
+func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial func(i int, est float64, round int)) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Take a worker slot before normalization: bound inference scans every
+	// materialized group, so it must count against the engine's concurrency
+	// budget, and an already-canceled context must not pay for it.
+	select {
+	case e.sem <- struct{}{}:
+		defer func() { <-e.sem }()
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+
+	q, err := e.normalize(q, groups)
+	if err != nil {
+		return nil, err
+	}
+
+	u := dataset.NewUniverse(q.Bound, groups...)
+	rng := xrand.New(e.seed(q))
+	spec, err := e.spec(q, u, groups)
+	if err != nil {
+		return nil, err
+	}
+	if onPartial != nil {
+		spec.Opts.OnPartial = onPartial
+	}
+	if q.Algorithm == AlgoScan {
+		// Exact scans are the one core path that fans out; hold the
+		// borrowed slots only for the scan's duration.
+		workers, release := e.borrowWorkers()
+		spec.Workers = workers
+		defer release()
+	}
+	rr, err := core.Run(ctx, u, rng, spec)
+	if err != nil {
+		return nil, err
+	}
+	return e.result(groups, rr), nil
+}
+
+// borrowWorkers reserves however many worker slots are currently idle (at
+// most Workers−1, never blocking) for intra-query fan-out, and returns the
+// total parallelism available to the caller — its own slot plus the
+// borrowed ones — with a release function. Charging fan-out against the
+// same semaphore keeps queries plus fan-out at or below Workers in total.
+func (e *Engine) borrowWorkers() (int, func()) {
+	extra := 0
+	for extra < e.cfg.Workers-1 {
+		select {
+		case e.sem <- struct{}{}:
+			extra++
+			continue
+		default:
+		}
+		break
+	}
+	return extra + 1, func() {
+		for i := 0; i < extra; i++ {
+			<-e.sem
+		}
+	}
+}
+
+// seed resolves the query's seed per the engine's RNG policy: an explicit
+// Deterministic seed is used verbatim (0 included); otherwise a nonzero
+// Query.Seed wins and zero falls back to the engine default.
+func (e *Engine) seed(q Query) uint64 {
+	switch {
+	case q.Deterministic:
+		return q.Seed
+	case q.Seed != 0:
+		return q.Seed
+	default:
+		return e.cfg.Seed
+	}
+}
+
+// normalize merges engine defaults into q and validates the result,
+// reporting precise errors at the public boundary rather than deep inside
+// the sampling internals.
+func (e *Engine) normalize(q Query, groups []Group) (Query, error) {
+	if len(groups) == 0 {
+		return q, fmt.Errorf("rapidviz: no groups")
+	}
+	if q.Delta == 0 {
+		q.Delta = e.cfg.Delta
+	}
+	if q.Bound == 0 {
+		q.Bound = e.cfg.Bound
+	}
+	if q.Resolution == 0 {
+		q.Resolution = e.cfg.Resolution
+	}
+	if e.cfg.WithReplacement {
+		q.WithReplacement = true
+	}
+	if q.MaxRounds == 0 {
+		q.MaxRounds = e.cfg.MaxRounds
+	}
+
+	if q.Delta <= 0 || q.Delta >= 1 {
+		return q, fmt.Errorf("rapidviz: Delta must be in (0,1), got %v", q.Delta)
+	}
+	if q.Bound < 0 {
+		return q, fmt.Errorf("rapidviz: Bound must be non-negative, got %v", q.Bound)
+	}
+	if q.Resolution < 0 {
+		return q, fmt.Errorf("rapidviz: Resolution must be non-negative, got %v", q.Resolution)
+	}
+	if q.MaxRounds < 0 {
+		return q, fmt.Errorf("rapidviz: MaxRounds must be non-negative, got %d", q.MaxRounds)
+	}
+	if q.MaxDraws < 0 {
+		return q, fmt.Errorf("rapidviz: MaxDraws must be non-negative, got %d", q.MaxDraws)
+	}
+	switch q.Guarantee {
+	case GuaranteeOrder, GuaranteeTrend:
+	case GuaranteeTopT:
+		if q.T < 1 || q.T > len(groups) {
+			return q, fmt.Errorf("rapidviz: GuaranteeTopT needs 1 <= T <= %d groups, got T=%d", len(groups), q.T)
+		}
+	case GuaranteeValues:
+		if q.MaxError <= 0 {
+			return q, fmt.Errorf("rapidviz: GuaranteeValues needs a positive MaxError, got %v", q.MaxError)
+		}
+	case GuaranteeMistakes:
+		if q.CorrectPairs <= 0 || q.CorrectPairs > 1 {
+			return q, fmt.Errorf("rapidviz: GuaranteeMistakes needs CorrectPairs in (0,1], got %v", q.CorrectPairs)
+		}
+	case GuaranteeAdjacency:
+		if len(q.Adjacency) != len(groups) {
+			return q, fmt.Errorf("rapidviz: GuaranteeAdjacency needs one adjacency list per group (%d), got %d", len(groups), len(q.Adjacency))
+		}
+	default:
+		return q, fmt.Errorf("rapidviz: unknown guarantee %v", q.Guarantee)
+	}
+	if q.SubGroups < 0 {
+		return q, fmt.Errorf("rapidviz: SubGroups must be non-negative, got %d", q.SubGroups)
+	}
+	if q.SubGroups > 0 {
+		if q.Aggregate != AggAvg || q.Guarantee != GuaranteeOrder {
+			return q, fmt.Errorf("rapidviz: SubGroups queries estimate AVG cells under the ordering guarantee only")
+		}
+		for _, g := range groups {
+			cg, ok := g.(CellGroup)
+			if !ok {
+				return q, fmt.Errorf("rapidviz: SubGroups queries need cell groups (see GroupFromCells); group %q carries no secondary key", g.Name())
+			}
+			if cg.NumCells() > q.SubGroups {
+				return q, fmt.Errorf("rapidviz: group %q has %d cells, more than SubGroups=%d", g.Name(), cg.NumCells(), q.SubGroups)
+			}
+		}
+	}
+	if q.Aggregate == AggAvgPair {
+		for _, g := range groups {
+			if _, ok := g.(dataset.PairGroup); !ok {
+				return q, fmt.Errorf("rapidviz: AggAvgPair needs pair groups (see GroupFromPairs); group %q carries one attribute", g.Name())
+			}
+		}
+		if q.Bound == 0 {
+			return q, fmt.Errorf("rapidviz: AggAvgPair requires an explicit Bound covering both attributes")
+		}
+	}
+
+	for _, g := range groups {
+		if _, ok := g.(*funcGroup); ok {
+			q.WithReplacement = true
+			if q.Bound == 0 {
+				return q, fmt.Errorf("rapidviz: func-backed group %q requires an explicit Bound", g.Name())
+			}
+		}
+	}
+	if q.Bound == 0 {
+		bound, err := e.inferBound(groups)
+		if err != nil {
+			return q, err
+		}
+		q.Bound = bound
+	}
+	return q, nil
+}
+
+// inferBound computes max value over materialized groups, rejecting
+// negative values, with the per-group scans fanned out across the worker
+// pool. Inference requires every group to be scannable.
+func (e *Engine) inferBound(groups []Group) (float64, error) {
+	workers, release := e.borrowWorkers()
+	defer release()
+	maxes := make([]float64, len(groups))
+	errs := make([]error, len(groups))
+	core.ParallelFor(len(groups), workers, func(i int) {
+		sc, ok := groups[i].(dataset.Scannable)
+		if !ok {
+			errs[i] = fmt.Errorf("rapidviz: cannot infer a value bound for group %q; set Bound", groups[i].Name())
+			return
+		}
+		max, neg := 0.0, 0.0
+		hasNeg := false
+		sc.Scan(func(v float64) {
+			if v < 0 && !hasNeg {
+				hasNeg = true
+				neg = v
+			}
+			if v > max {
+				max = v
+			}
+		})
+		if hasNeg {
+			errs[i] = fmt.Errorf("rapidviz: group %q has negative value %v; shift values into [0, c]", groups[i].Name(), neg)
+			return
+		}
+		maxes[i] = max
+	})
+	bound := 0.0
+	for i := range groups {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		if maxes[i] > bound {
+			bound = maxes[i]
+		}
+	}
+	if bound == 0 {
+		bound = 1
+	}
+	return bound, nil
+}
+
+// spec translates a normalized query into the core dispatch description.
+func (e *Engine) spec(q Query, u *dataset.Universe, groups []Group) (core.Spec, error) {
+	opts := core.DefaultOptions()
+	opts.Delta = q.Delta
+	opts.Resolution = q.Resolution
+	opts.WithReplacement = q.WithReplacement
+	opts.MaxRounds = q.MaxRounds
+
+	spec := core.Spec{
+		Algorithm:    q.Algorithm,
+		Aggregate:    q.Aggregate,
+		Guarantee:    q.Guarantee,
+		T:            q.T,
+		MaxError:     q.MaxError,
+		CorrectPairs: q.CorrectPairs,
+		Adjacency:    core.Adjacency(q.Adjacency),
+		MaxDraws:     q.MaxDraws,
+		Opts:         opts,
+	}
+	if q.SubGroups > 0 {
+		cells := make([]CellGroup, len(groups))
+		for i, g := range groups {
+			cells[i] = g.(CellGroup) // validated in normalize
+		}
+		spec.Cells = &cellSource{groups: cells, kz: q.SubGroups, c: q.Bound}
+	}
+	if q.Aggregate == AggNormalizedSum || q.Aggregate == AggNormalizedCount {
+		if u.TotalSize() == 0 {
+			return core.Spec{}, fmt.Errorf("rapidviz: %v needs known group sizes to simulate membership sampling", q.Aggregate)
+		}
+		spec.Fractions = dataset.NewMembershipFractionEstimator(u)
+	}
+	return spec, nil
+}
+
+// result maps a core run result onto the public shape.
+func (e *Engine) result(groups []Group, rr *core.RunResult) *Result {
+	names := make([]string, len(groups))
+	for i, g := range groups {
+		names[i] = g.Name()
+	}
+	res := &Result{
+		Names:           names,
+		Estimates:       rr.Estimates,
+		SampleCounts:    rr.SampleCounts,
+		TotalSamples:    rr.TotalSamples,
+		Epsilon:         rr.FinalEpsilon,
+		Rounds:          rr.Rounds,
+		Capped:          rr.Capped,
+		SecondEstimates: rr.SecondEstimates,
+		CellEstimates:   rr.CellEstimates,
+		CellCounts:      rr.CellCounts,
+	}
+	for _, i := range rr.TopMembers {
+		res.Top = append(res.Top, names[i])
+	}
+	return res
+}

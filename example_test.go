@@ -1,12 +1,54 @@
 package rapidviz_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro"
 	"repro/internal/xrand"
 )
+
+// ExampleEngine_Run demonstrates the Engine/Query API: one reusable engine
+// executes declarative queries — here a top-2 selection — under a
+// cancellable context.
+func ExampleEngine_Run() {
+	r := xrand.New(2015)
+	group := func(name string, mean float64) rapidviz.Group {
+		d := xrand.TruncNormal{Mu: mean, Sigma: 10, Lo: 0, Hi: 100}
+		vals := make([]float64, 50_000)
+		for i := range vals {
+			vals[i] = d.Sample(r)
+		}
+		return rapidviz.GroupFromValues(name, vals)
+	}
+	groups := []rapidviz.Group{
+		group("espresso", 62),
+		group("filter", 38),
+		group("decaf", 20),
+	}
+	eng, err := rapidviz.NewEngine(rapidviz.EngineConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := eng.Run(context.Background(), rapidviz.Query{
+		Guarantee: rapidviz.GuaranteeTopT,
+		T:         2,
+		Bound:     100,
+		Seed:      7,
+	}, groups)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, name := range res.Top {
+		fmt.Println(name)
+	}
+	// Output:
+	// espresso
+	// filter
+}
 
 // ExampleOrder demonstrates the core workflow: build groups, run the
 // ordering-guaranteed estimator, read the bars back in ranked order.

@@ -1,13 +1,16 @@
 // Dashboard exercises the paper's §6 extensions the way an analyst's
-// dashboard would: a top-5 leaderboard over many groups (Problem 4), a
-// trend line whose guarantee covers adjacent points only (Problem 3), a
-// value-accurate chart (Problem 6), and a fast mode that accepts mistakes
-// on a small fraction of comparisons (Problem 5).
+// dashboard would, all through one reusable Engine: a top-5 leaderboard
+// over many groups (Problem 4), a trend line whose guarantee covers
+// adjacent points only (Problem 3), a value-accurate chart (Problem 6),
+// and a fast mode that accepts mistakes on a small fraction of
+// comparisons (Problem 5). Every panel is one Query against the same
+// engine — no per-operator entry points.
 //
 //	go run ./examples/dashboard
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -19,6 +22,11 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(11))
+	eng, err := rapidviz.NewEngine(rapidviz.EngineConfig{Bound: 100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
 
 	// --- Top-5 of 40 product lines by average basket value -------------
 	var products []rapidviz.Group
@@ -26,7 +34,7 @@ func main() {
 		mean := 20 + 60*rng.Float64()
 		products = append(products, synthGroup(rng, fmt.Sprintf("sku-%02d", i), mean, 12, 50_000))
 	}
-	top, err := rapidviz.TopT(products, 5, rapidviz.Options{Bound: 100, Seed: 5})
+	top, err := eng.Run(ctx, rapidviz.Query{Guarantee: rapidviz.GuaranteeTopT, T: 5, Seed: 5}, products)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,11 +47,11 @@ func main() {
 		mean := 50 + 25*math.Sin(float64(m)/12*2*math.Pi)
 		months = append(months, synthGroup(rng, fmt.Sprintf("m%02d", m+1), mean, 10, 50_000))
 	}
-	trend, err := rapidviz.Trend(months, rapidviz.Options{Bound: 100, Seed: 6})
+	trend, err := eng.Run(ctx, rapidviz.Query{Guarantee: rapidviz.GuaranteeTrend, Seed: 6}, months)
 	if err != nil {
 		log.Fatal(err)
 	}
-	full, err := rapidviz.Order(months, rapidviz.Options{Bound: 100, Seed: 6})
+	full, err := eng.Run(ctx, rapidviz.Query{Seed: 6}, months)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -57,7 +65,7 @@ func main() {
 		synthGroup(rng, "apac", 55, 15, 80_000),
 		synthGroup(rng, "amer", 49, 15, 80_000),
 	}
-	vals, err := rapidviz.OrderWithValues(regions, 2.0, rapidviz.Options{Bound: 100, Seed: 7})
+	vals, err := eng.Run(ctx, rapidviz.Query{Guarantee: rapidviz.GuaranteeValues, MaxError: 2.0, Seed: 7}, regions)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,11 +78,11 @@ func main() {
 		mean := 30 + 40*rng.Float64()
 		channels = append(channels, synthGroup(rng, fmt.Sprintf("ch-%02d", i), mean, 18, 50_000))
 	}
-	strict, err := rapidviz.Order(channels, rapidviz.Options{Bound: 100, Seed: 8})
+	strict, err := eng.Run(ctx, rapidviz.Query{Seed: 8}, channels)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fast, err := rapidviz.OrderAllowingMistakes(channels, 0.9, rapidviz.Options{Bound: 100, Seed: 8})
+	fast, err := eng.Run(ctx, rapidviz.Query{Guarantee: rapidviz.GuaranteeMistakes, CorrectPairs: 0.9, Seed: 8}, channels)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,14 +2,17 @@
 // query SELECT AIRLINE, AVG(DELAY) FROM FLT GROUP BY AIRLINE over a
 // synthetic flight-records dataset, answered four ways — exact scan,
 // conventional round-robin sampling, IFOCUS, and IFOCUS with a 1% visual
-// resolution — with partial results streaming as groups settle.
+// resolution — with partial results streamed over Engine.Stream's channel
+// as groups settle, under a context deadline.
 //
 //	go run ./examples/flightdelays
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	"repro"
 	"repro/internal/workload"
@@ -39,36 +42,48 @@ func main() {
 	// paper's 24h worst-case bound is valid too, but on a small in-memory
 	// sample the tighter data-driven bound shows the algorithms' focus
 	// better; either choice preserves the guarantee.
-	base := rapidviz.Options{Delta: 0.05, Seed: 3}
+	eng, err := rapidviz.NewEngine(rapidviz.EngineConfig{Delta: 0.05, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A generous deadline: were the dataset adversarial (groups with equal
+	// true means), the context — not a wedged process — ends the run.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
 
-	exact, err := rapidviz.Exact(groups, base)
+	exact, err := eng.Run(ctx, rapidviz.Query{Algorithm: rapidviz.AlgoScan}, groups)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Partial results: print each airline's average the moment it settles.
+	// Partial results: each airline's average arrives on the stream the
+	// moment it settles; the terminal event carries the full result.
 	fmt.Println("\nIFOCUS with streaming partial results:")
-	streaming := base
+	var res *rapidviz.Result
 	settled := 0
-	streaming.OnPartial = func(airline string, estimate float64) {
-		settled++
-		fmt.Printf("  settled %2d/%d: %-3s avg arrival delay %.2f min\n",
-			settled, len(groups), airline, estimate)
+	for ev := range eng.Stream(ctx, rapidviz.Query{}, groups) {
+		switch {
+		case ev.Partial != nil:
+			settled++
+			fmt.Printf("  settled %2d/%d: %-3s avg arrival delay %.2f min\n",
+				settled, len(groups), ev.Partial.Group, ev.Partial.Estimate)
+		case ev.Err != nil:
+			log.Fatal(ev.Err)
+		default:
+			res = ev.Result
+		}
 	}
-	res, err := rapidviz.Order(groups, streaming)
-	if err != nil {
-		log.Fatal(err)
+	if res == nil {
+		log.Fatal("stream ended without a result")
 	}
 
-	rr, err := rapidviz.RoundRobin(groups, base)
+	rr, err := eng.Run(ctx, rapidviz.Query{Algorithm: rapidviz.AlgoRoundRobin}, groups)
 	if err != nil {
 		log.Fatal(err)
 	}
 	// A 1-minute visual resolution: airlines within a minute of each other
 	// may swap, which a 20-bar chart could not legibly show anyway.
-	relaxed := base
-	relaxed.Resolution = 1
-	resR, err := rapidviz.Order(groups, relaxed)
+	resR, err := eng.Run(ctx, rapidviz.Query{Resolution: 1}, groups)
 	if err != nil {
 		log.Fatal(err)
 	}

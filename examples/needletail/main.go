@@ -1,17 +1,20 @@
 // Needletail demonstrates the storage substrate directly: build a
-// bitmap-indexed row store over synthetic flight records, run IFOCUS and
-// SCAN against it through the engine, apply an ad-hoc selection predicate
-// (§6.3.3 of the paper), and report the simulated I/O / CPU cost split and
-// the index compression ratio.
+// bitmap-indexed row store over synthetic flight records, run IFOCUS
+// (through the public Engine/Query API, under a context deadline) and
+// SCAN against it, apply an ad-hoc selection predicate (§6.3.3 of the
+// paper), and report the simulated I/O / CPU cost split and the index
+// compression ratio.
 //
 //	go run ./examples/needletail
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
-	"repro/internal/core"
+	"repro"
 	"repro/internal/needletail"
 	"repro/internal/needletail/disksim"
 	"repro/internal/workload"
@@ -42,16 +45,27 @@ func main() {
 	fmt.Printf("index: %d groups, RLE-compressed to %d of %d words (%.1fx)\n",
 		len(table.GroupNames()), compressed, plain, float64(plain)/float64(compressed))
 
-	eng, err := needletail.NewEngine(table, "arrdelay", workload.FlightBound)
+	store, err := needletail.NewEngine(table, "arrdelay", workload.FlightBound)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// IFOCUS through the engine, with a 1% visual resolution.
+	// IFOCUS over the store's groups through the public engine, with a 1%
+	// visual resolution and a deadline: the sampling loop polls the
+	// context every round, so a wedged device can't wedge the query.
+	viz, err := rapidviz.NewEngine(rapidviz.EngineConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	device.Reset()
-	opts := core.DefaultOptions()
-	opts.Resolution = workload.FlightBound / 100
-	run, err := core.IFocus(eng.Universe(), xrand.New(9), opts)
+	run, err := viz.Run(ctx, rapidviz.Query{
+		Bound:      workload.FlightBound,
+		Resolution: workload.FlightBound / 100,
+		Seed:       9,
+	}, store.Universe().Groups)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +75,7 @@ func main() {
 
 	// SCAN for comparison.
 	device.Reset()
-	exact := eng.Scan()
+	exact := store.Scan()
 	st = device.Stats()
 	fmt.Printf("SCAN:         %d rows,    simulated %.3fs I/O + %.3fs CPU\n",
 		rows, st.IOSeconds, st.CPUSeconds)

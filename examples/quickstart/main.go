@@ -1,10 +1,12 @@
 // Quickstart: generate an ordering-guaranteed bar chart from in-memory
-// data with rapidviz.Order, and compare its cost against the exact scan.
+// data with the Engine/Query API, and compare its cost against the exact
+// scan.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -35,13 +37,21 @@ func main() {
 		groups = append(groups, rapidviz.GroupFromValues(name, values))
 	}
 
-	// Order samples adaptively and stops the moment the bar ordering is
-	// certain (with probability ≥ 1 − Delta).
-	res, err := rapidviz.Order(groups, rapidviz.Options{Delta: 0.05, Bound: 100})
+	// One engine serves any number of queries; Run honors the context's
+	// cancellation and deadline between sampling rounds.
+	eng, err := rapidviz.NewEngine(rapidviz.EngineConfig{})
 	if err != nil {
 		log.Fatal(err)
 	}
-	exact, err := rapidviz.Exact(groups, rapidviz.Options{Bound: 100})
+	ctx := context.Background()
+
+	// The zero Query samples adaptively with IFOCUS and stops the moment
+	// the bar ordering is certain (with probability ≥ 1 − Delta).
+	res, err := eng.Run(ctx, rapidviz.Query{Delta: 0.05, Bound: 100}, groups)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact, err := eng.Run(ctx, rapidviz.Query{Algorithm: rapidviz.AlgoScan, Bound: 100}, groups)
 	if err != nil {
 		log.Fatal(err)
 	}

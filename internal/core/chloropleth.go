@@ -145,6 +145,9 @@ func Chloropleth(u *dataset.Universe, rng *xrand.RNG, adj Adjacency, opts Option
 
 	var eps float64
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		var maxN int64
 		if !opts.WithReplacement {

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -65,6 +66,25 @@ type Options struct {
 	// extension of §6.2.2. Arguments are the group index, its estimate, and
 	// the round at which it settled.
 	OnPartial func(group int, estimate float64, round int)
+	// Ctx, when non-nil, is polled once per sampling round: the run aborts
+	// with Ctx.Err() as soon as the context is canceled or its deadline
+	// passes. A canceled run returns no result.
+	Ctx context.Context
+}
+
+// interrupted reports the context error, if the run's context is done.
+// Round loops call it once per round so cancellation lands within one
+// round's worth of draws.
+func (o *Options) interrupted() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-o.Ctx.Done():
+		return o.Ctx.Err()
+	default:
+		return nil
+	}
 }
 
 // DefaultOptions mirrors the paper's default experimental setup:

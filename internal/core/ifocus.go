@@ -60,6 +60,9 @@ func IFocus(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) 
 
 	var eps float64
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		// Update the confidence-interval half-width (Line 6). The Serfling
 		// correction uses max over the *active* groups' sizes, which shrinks

@@ -43,6 +43,9 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 	numActive := k
 	round := 0
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		round++
 		for i := 0; i < k; i++ {
 			if !active[i] {

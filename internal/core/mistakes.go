@@ -83,6 +83,9 @@ func WithMistakes(u *dataset.Universe, rng *xrand.RNG, gamma float64, opts Optio
 
 	var eps float64
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		var maxN int64
 		if !opts.WithReplacement {

@@ -80,6 +80,9 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 	m := 1
 	res := &MultiResult{EstimatesY: estY, EstimatesZ: estZ, SampleCounts: counts}
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		var maxN int64
 		if !opts.WithReplacement {
@@ -134,6 +137,9 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 	numActive = k
 	rounds := 0
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		rounds++
 		ivs := make(map[int]interval, k)
 		for i := 0; i < k; i++ {

@@ -90,6 +90,9 @@ func MultiGroupBy(src CellSource, rng *xrand.RNG, opts Options, maxDraws int64) 
 
 	round := 0
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		round++
 		for x := 0; x < kx; x++ {
 			if !activeX[x] {

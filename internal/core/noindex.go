@@ -117,6 +117,11 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 	// dominate, so check every k draws (one "round" worth).
 	checkEvery := int64(k)
 	for {
+		if total%checkEvery == 0 {
+			if err := opts.interrupted(); err != nil {
+				return nil, err
+			}
+		}
 		g, v := src.Draw(rng)
 		counts[g]++
 		m := float64(counts[g])

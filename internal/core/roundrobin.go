@@ -46,6 +46,9 @@ func RoundRobin(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, err
 		opts.Tracer.OnRound(m, sched.Epsilon(m)/opts.HeuristicFactor, allFlags, estimates, sampler.Total())
 	}
 	for {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		var maxN int64
 		if !opts.WithReplacement {

@@ -61,6 +61,9 @@ func SumKnownSizes(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, 
 
 	var baseEps float64
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		var maxN int64
 		if !opts.WithReplacement {
@@ -192,6 +195,9 @@ func SumUnknownSizes(u *dataset.Universe, est dataset.FractionEstimator, rng *xr
 
 	var eps float64
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		eps = sched.EpsilonN(m, 0) / opts.HeuristicFactor
 		for i := 0; i < k; i++ {

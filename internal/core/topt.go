@@ -96,6 +96,9 @@ func TopT(u *dataset.Universe, rng *xrand.RNG, t int, opts Options) (*TopTResult
 
 	var eps float64
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		var maxN int64
 		if !opts.WithReplacement {

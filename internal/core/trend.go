@@ -71,6 +71,9 @@ func Trend(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
 
 	var eps float64
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		var maxN int64
 		if !opts.WithReplacement {

@@ -50,6 +50,9 @@ func WithValues(u *dataset.Universe, rng *xrand.RNG, d float64, opts Options) (*
 
 	var eps float64
 	for numActive > 0 {
+		if err := opts.interrupted(); err != nil {
+			return nil, err
+		}
 		m++
 		var maxN int64
 		if !opts.WithReplacement {

@@ -4,36 +4,52 @@
 // Indyk, Madden, Rubinfeld — VLDB 2015).
 //
 // Given k groups of bounded numeric values (the result groups of a
-// SELECT X, AVG(Y) ... GROUP BY X query), Order returns per-group average
-// estimates whose *ordering* matches the true averages with probability at
-// least 1−δ — while sampling far fewer values than any scheme that first
-// nails down each average. The flagship algorithm, IFOCUS, concentrates
-// samples on the groups whose confidence intervals still overlap and stops
-// sampling a group the moment its interval separates; its sample complexity
-// is optimal up to log-log factors.
+// SELECT X, AVG(Y) ... GROUP BY X query), the engine returns per-group
+// estimates whose *ordering* matches the true aggregates with probability
+// at least 1−δ — while sampling far fewer values than any scheme that
+// first nails down each aggregate. The flagship algorithm, IFOCUS,
+// concentrates samples on the groups whose confidence intervals still
+// overlap and stops sampling a group the moment its interval separates;
+// its sample complexity is optimal up to log-log factors.
 //
-// Quick start:
+// The API is a reusable Engine executing declarative Queries:
 //
 //	groups := []rapidviz.Group{
 //		rapidviz.GroupFromValues("AA", delaysAA),
 //		rapidviz.GroupFromValues("JB", delaysJB),
 //	}
-//	res, err := rapidviz.Order(groups, rapidviz.Options{Bound: 24 * 60})
+//	eng, err := rapidviz.NewEngine(rapidviz.EngineConfig{})
+//	// handle err ...
+//	res, err := eng.Run(ctx, rapidviz.Query{Bound: 24 * 60}, groups)
+//	// handle err ...
 //	fmt.Print(res.Render())
 //
-// Variants cover the paper's §6 extensions: Trend (adjacent-pair ordering
-// for trend lines and chloropleths), TopT (identify and order only the top
-// t groups), OrderWithValues (additionally bound each estimate's error),
-// OrderAllowingMistakes (trade a fraction of pairwise comparisons for
-// speed), Sum and Count aggregates, and NoIndex (no index on the group-by
-// attribute). Baselines RoundRobin and Refine are included for comparison.
+// The zero Query estimates per-group averages under the full ordering
+// guarantee with IFOCUS; its fields select the aggregate (AggAvg, AggSum,
+// AggCount, and their normalized variants, or AggAvgPair for two
+// aggregates at once), the guarantee (GuaranteeOrder, GuaranteeTrend,
+// GuaranteeTopT, GuaranteeValues, GuaranteeMistakes, GuaranteeAdjacency —
+// relax any of them further with Resolution), and the algorithm
+// (AlgoAuto/AlgoIFocus, the AlgoIRefine and AlgoRoundRobin baselines,
+// the exact AlgoScan, or AlgoNoIndex when the group-by attribute has no
+// index). SubGroups queries estimate the cells of GROUP BY X, Z with an
+// index on X only. Engine.Run honors context cancellation and deadlines
+// between sampling rounds; Engine.Stream delivers each group's estimate
+// over a channel the moment it settles. Engines are safe for concurrent
+// use and bound their own parallelism, so one engine can serve heavy
+// concurrent query traffic.
+//
+// The free functions (Order, RoundRobin, Refine, Exact, Trend, TopT,
+// OrderWithValues, OrderAllowingMistakes, Sum) are deprecated thin
+// wrappers over a shared default engine, kept for compatibility; they
+// produce seed-for-seed identical results to the equivalent Query.
 package rapidviz
 
 import (
+	"context"
 	"fmt"
 	"math"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/viz"
 	"repro/internal/xrand"
@@ -54,7 +70,8 @@ func GroupFromValues(name string, values []float64) Group {
 // must return one value drawn uniformly at random (with replacement) from
 // the group's population of nominal size n. Use this to plug in an
 // external sampling engine (a database index, a service). Runs over
-// func-backed groups force sampling with replacement.
+// func-backed groups force sampling with replacement and require an
+// explicit bound.
 func GroupFromFunc(name string, n int64, sample func() float64) Group {
 	return &funcGroup{name: name, n: n, sample: sample}
 }
@@ -70,8 +87,13 @@ func (g *funcGroup) Size() int64             { return g.n }
 func (g *funcGroup) Draw(*xrand.RNG) float64 { return g.sample() }
 func (g *funcGroup) TrueMean() float64       { return math.NaN() }
 
-// Options configures a run. The zero value is usable: it requests δ=0.05,
-// κ=1, sampling without replacement, and infers the value bound.
+// Options configures a run of the deprecated free functions. The zero
+// value is usable: it requests δ=0.05, κ=1, sampling without replacement,
+// and infers the value bound.
+//
+// Deprecated: build a Query instead; it has the same knobs plus aggregate,
+// guarantee, and algorithm selection, and distinguishes an explicit zero
+// seed (Query.Deterministic) from an unset one.
 type Options struct {
 	// Delta is the permitted probability that the returned ordering is
 	// wrong. Zero means 0.05.
@@ -89,76 +111,42 @@ type Options struct {
 	WithReplacement bool
 	// Seed makes the run deterministic; zero picks a fixed default seed
 	// (runs are deterministic by default — vary Seed for independence).
+	// Use Query.Deterministic to make an explicit zero seed stick.
 	Seed uint64
 	// MaxRounds optionally caps sampling rounds as a safety valve; capped
 	// runs void the guarantee and are reported via Result.Capped.
 	MaxRounds int
 	// OnPartial, when non-nil, streams each group's estimate the moment it
-	// settles (the paper's partial-results extension): analysts can start
-	// reading the chart before the contentious bars finish.
+	// settles. Prefer Engine.Stream, which delivers the same events over a
+	// channel together with the terminal result.
 	OnPartial func(group string, estimate float64)
 }
 
-func (o Options) normalize(groups []Group) (core.Options, *dataset.Universe, *xrand.RNG, error) {
-	if len(groups) == 0 {
-		return core.Options{}, nil, nil, fmt.Errorf("rapidviz: no groups")
+// query translates legacy options into the equivalent Query.
+func (o Options) query() Query {
+	return Query{
+		Delta:           o.Delta,
+		Bound:           o.Bound,
+		Resolution:      o.Resolution,
+		WithReplacement: o.WithReplacement,
+		Seed:            o.Seed,
+		MaxRounds:       o.MaxRounds,
 	}
-	opts := core.DefaultOptions()
-	if o.Delta != 0 {
-		opts.Delta = o.Delta
-	}
-	opts.Resolution = o.Resolution
-	opts.WithReplacement = o.WithReplacement
-	opts.MaxRounds = o.MaxRounds
+}
 
-	bound := o.Bound
-	for _, g := range groups {
-		if _, ok := g.(*funcGroup); ok {
-			opts.WithReplacement = true
-			if o.Bound == 0 {
-				return core.Options{}, nil, nil, fmt.Errorf("rapidviz: func-backed group %q requires an explicit Options.Bound", g.Name())
-			}
-		}
+// partial adapts the legacy callback to the engine's internal hook.
+func (o Options) partial(groups []Group) func(i int, est float64, round int) {
+	if o.OnPartial == nil {
+		return nil
 	}
-	if bound == 0 {
-		for _, g := range groups {
-			sg, ok := g.(*dataset.SliceGroup)
-			if !ok {
-				return core.Options{}, nil, nil, fmt.Errorf("rapidviz: cannot infer bound for group %q; set Options.Bound", g.Name())
-			}
-			for _, v := range sg.Values() {
-				if v < 0 {
-					return core.Options{}, nil, nil, fmt.Errorf("rapidviz: group %q has negative value %v; shift values into [0, c]", g.Name(), v)
-				}
-				if v > bound {
-					bound = v
-				}
-			}
-		}
-		if bound == 0 {
-			bound = 1
-		}
-	}
-	u := dataset.NewUniverse(bound, groups...)
-	seed := o.Seed
-	if seed == 0 {
-		seed = 0x5eedf00d
-	}
-	rng := xrand.New(seed)
-	if o.OnPartial != nil {
-		names := make([]string, len(groups))
-		for i, g := range groups {
-			names[i] = g.Name()
-		}
-		cb := o.OnPartial
-		opts.OnPartial = func(i int, est float64, round int) { cb(names[i], est) }
-	}
-	return opts, u, rng, nil
+	return func(i int, est float64, round int) { o.OnPartial(groups[i].Name(), est) }
 }
 
 // Result reports a run: per-group estimates plus sampling cost.
 type Result struct {
-	// Names and Estimates are index-aligned; Estimates[i] is ν_i.
+	// Names and Estimates are index-aligned; Estimates[i] is ν_i. For
+	// SubGroups queries Estimates is the row-major flattening of
+	// CellEstimates.
 	Names     []string
 	Estimates []float64
 	// SampleCounts are the per-group sample counts m_i; TotalSamples is
@@ -168,27 +156,39 @@ type Result struct {
 	// Epsilon is the final confidence half-width: each estimate is within
 	// ±Epsilon of its true average with the run's confidence.
 	Epsilon float64
-	// Capped reports that MaxRounds fired; the guarantee is void.
+	// Rounds is the number of sampling rounds executed.
+	Rounds int
+	// Capped reports that MaxRounds (or MaxDraws) fired; the guarantee is
+	// void.
 	Capped bool
+	// Top lists the names of the top-T groups, largest estimate first
+	// (GuaranteeTopT queries only).
+	Top []string
+	// SecondEstimates holds the AVG(Z) estimates of AggAvgPair queries,
+	// index-aligned with Names.
+	SecondEstimates []float64
+	// CellEstimates and CellCounts hold the per-cell results of SubGroups
+	// queries, indexed [group][key].
+	CellEstimates [][]float64
+	CellCounts    [][]int64
 }
 
-func newResult(u *dataset.Universe, r *core.Result) *Result {
-	names := make([]string, u.K())
-	for i, g := range u.Groups {
-		names[i] = g.Name()
-	}
-	return &Result{
-		Names:        names,
-		Estimates:    r.Estimates,
-		SampleCounts: r.SampleCounts,
-		TotalSamples: r.TotalSamples,
-		Epsilon:      r.FinalEpsilon,
-		Capped:       r.Capped,
-	}
-}
-
-// Bars converts the result to renderable bars with error bars.
+// Bars converts the result to renderable bars with error bars. SubGroups
+// results get one bar per cell, labeled "group/key".
 func (r *Result) Bars() []viz.Bar {
+	if r.CellEstimates != nil {
+		var bars []viz.Bar
+		for x, cells := range r.CellEstimates {
+			for z, v := range cells {
+				bars = append(bars, viz.Bar{
+					Label: fmt.Sprintf("%s/%d", r.Names[x], z),
+					Value: v,
+					Err:   r.Epsilon,
+				})
+			}
+		}
+		return bars
+	}
 	bars := make([]viz.Bar, len(r.Names))
 	for i := range bars {
 		bars[i] = viz.Bar{Label: r.Names[i], Value: r.Estimates[i], Err: r.Epsilon}
@@ -206,78 +206,58 @@ func (r *Result) RenderTrend() string { return viz.TrendLine(r.Names, r.Estimate
 // IFOCUS — the paper's optimal algorithm. With probability at least
 // 1−Delta, the returned estimates are ordered exactly as the true averages
 // (up to Options.Resolution, when set).
+//
+// Deprecated: use Engine.Run with a zero Query (plus Delta/Bound/Seed).
 func Order(groups []Group, o Options) (*Result, error) {
-	opts, u, rng, err := o.normalize(groups)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.IFocus(u, rng, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(u, res), nil
+	return DefaultEngine().run(context.Background(), o.query(), groups, o.partial(groups))
 }
 
 // RoundRobin runs the conventional stratified-sampling baseline under the
 // same guarantee. It exists for comparison: expect several times the
 // samples of Order.
+//
+// Deprecated: use Engine.Run with Query{Algorithm: AlgoRoundRobin}.
 func RoundRobin(groups []Group, o Options) (*Result, error) {
-	opts, u, rng, err := o.normalize(groups)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.RoundRobin(u, rng, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(u, res), nil
+	q := o.query()
+	q.Algorithm = AlgoRoundRobin
+	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
 }
 
 // Refine runs the interval-halving IREFINE variant: correct, simpler to
 // analyze, but provably non-optimal (expect more samples than Order).
+//
+// Deprecated: use Engine.Run with Query{Algorithm: AlgoIRefine}.
 func Refine(groups []Group, o Options) (*Result, error) {
-	opts, u, rng, err := o.normalize(groups)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.IRefine(u, rng, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(u, res), nil
+	q := o.query()
+	q.Algorithm = AlgoIRefine
+	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
 }
 
 // Exact computes the true averages by scanning every value of every group
 // (all groups must be materialized) — the SCAN baseline.
+//
+// Deprecated: use Engine.Run with Query{Algorithm: AlgoScan}.
 func Exact(groups []Group, o Options) (*Result, error) {
-	_, u, _, err := o.normalize(groups)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Scan(u)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(u, res), nil
+	q := o.query()
+	q.Algorithm = AlgoScan
+	return DefaultEngine().run(context.Background(), q, groups, nil)
 }
 
 // Trend estimates the averages with the weaker trend-line guarantee: only
 // *adjacent* groups (in the given order) are guaranteed to be ordered
-// correctly — the right property for time series and chloropleth maps, at
-// a fraction of Order's samples.
+// correctly — the right property for time series and chloropleths, at a
+// fraction of Order's samples.
+//
+// Deprecated: use Engine.Run with Query{Guarantee: GuaranteeTrend}.
 func Trend(groups []Group, o Options) (*Result, error) {
-	opts, u, rng, err := o.normalize(groups)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.Trend(u, rng, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(u, res), nil
+	q := o.query()
+	q.Guarantee = GuaranteeTrend
+	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
 }
 
 // TopTResult extends Result with the top-t selection.
+//
+// Deprecated: Result carries the Top field directly.
 type TopTResult struct {
 	Result
 	// Top lists the names of the top-t groups, largest estimate first.
@@ -288,63 +268,52 @@ type TopTResult struct {
 // them correctly among themselves, with probability at least 1−Delta.
 // Groups provably outside the top t stop being sampled early, the big
 // saving when k is large.
+//
+// Deprecated: use Engine.Run with Query{Guarantee: GuaranteeTopT, T: t}.
 func TopT(groups []Group, t int, o Options) (*TopTResult, error) {
-	opts, u, rng, err := o.normalize(groups)
+	q := o.query()
+	q.Guarantee = GuaranteeTopT
+	q.T = t
+	res, err := DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.TopT(u, rng, t, opts)
-	if err != nil {
-		return nil, err
-	}
-	out := &TopTResult{Result: *newResult(u, &res.Result)}
-	for _, i := range res.Members {
-		out.Top = append(out.Top, u.Groups[i].Name())
-	}
-	return out, nil
+	return &TopTResult{Result: *res, Top: res.Top}, nil
 }
 
 // OrderWithValues adds a value guarantee on top of the ordering: every
 // estimate is within ±maxErr of its true average with probability 1−Delta.
+//
+// Deprecated: use Engine.Run with Query{Guarantee: GuaranteeValues,
+// MaxError: maxErr}.
 func OrderWithValues(groups []Group, maxErr float64, o Options) (*Result, error) {
-	opts, u, rng, err := o.normalize(groups)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.WithValues(u, rng, maxErr, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(u, res), nil
+	q := o.query()
+	q.Guarantee = GuaranteeValues
+	q.MaxError = maxErr
+	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
 }
 
 // OrderAllowingMistakes terminates as soon as a fraction of at least
 // correctPairs of all pairwise comparisons is certain, skipping the
 // hardest comparisons (the paper's allowed-mistakes extension).
 // correctPairs must be in (0, 1].
+//
+// Deprecated: use Engine.Run with Query{Guarantee: GuaranteeMistakes,
+// CorrectPairs: correctPairs}.
 func OrderAllowingMistakes(groups []Group, correctPairs float64, o Options) (*Result, error) {
-	opts, u, rng, err := o.normalize(groups)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.WithMistakes(u, rng, correctPairs, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(u, res), nil
+	q := o.query()
+	q.Guarantee = GuaranteeMistakes
+	q.CorrectPairs = correctPairs
+	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
 }
 
 // Sum estimates per-group SUMs (rather than averages) with the ordering
 // guarantee. Group sizes must be known (materialized groups, or func
 // groups constructed with their true sizes).
+//
+// Deprecated: use Engine.Run with Query{Aggregate: AggSum}.
 func Sum(groups []Group, o Options) (*Result, error) {
-	opts, u, rng, err := o.normalize(groups)
-	if err != nil {
-		return nil, err
-	}
-	res, err := core.SumKnownSizes(u, rng, opts)
-	if err != nil {
-		return nil, err
-	}
-	return newResult(u, res), nil
+	q := o.query()
+	q.Aggregate = AggSum
+	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
 }
