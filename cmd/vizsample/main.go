@@ -5,26 +5,27 @@
 // Usage:
 //
 //	vizsample -csv data.csv [-delta 0.05] [-resolution 0] [-algo ifocus]
-//	          [-agg avg] [-timeout 30s] [-stream]
+//	          [-agg avg] [-batch 64] [-timeout 30s] [-stream]
 //	vizsample -demo              # run on a built-in synthetic dataset
 //
 // -algo selects the sampling strategy (ifocus | irefine | roundrobin |
-// scan | noindex), -agg the aggregate (avg | sum | count), -timeout bounds
-// the run via context cancellation, and -stream prints each group the
-// moment its estimate settles.
+// scan | noindex), -agg the aggregate (avg | sum | count), -batch the
+// number of samples drawn per contentious group per round (1 = the
+// paper-exact scalar schedule; larger blocks trade a few extra samples for
+// a several-fold throughput gain), -growth an optional geometric block
+// growth factor, -timeout bounds the run via context cancellation, and
+// -stream prints each group the moment its estimate settles.
 //
-// The CSV must have two columns: a group label and a numeric value; a
-// header row is detected and skipped automatically.
+// The CSV is ingested into a columnar table: the first column is the group
+// label and the second the numeric value; a header row is detected and
+// skipped automatically.
 package main
 
 import (
-	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro"
 	"repro/internal/workload"
@@ -39,6 +40,8 @@ func main() {
 		algo       = flag.String("algo", "ifocus", "ifocus | irefine | roundrobin | scan | noindex")
 		agg        = flag.String("agg", "avg", "avg | sum | count")
 		seed       = flag.Uint64("seed", 1, "random seed")
+		batch      = flag.Int("batch", 0, "samples per contentious group per round (0/1 = paper-exact scalar rounds)")
+		growth     = flag.Float64("growth", 0, "geometric per-round block growth factor (0/1 = fixed blocks)")
 		timeout    = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 		maxDraws   = flag.Int64("maxdraws", 0, "cap total draws for -algo noindex (0 = unlimited; the cap voids the guarantee)")
 		stream     = flag.Bool("stream", false, "print each group the moment its estimate settles")
@@ -46,12 +49,19 @@ func main() {
 	flag.Parse()
 
 	var groups []rapidviz.Group
+	var bound float64
 	var err error
 	switch {
 	case *demo:
 		groups, err = demoGroups(*seed)
 	case *csvPath != "":
-		groups, err = loadCSV(*csvPath)
+		// The ingestion builder tracked the value range, so the queries
+		// below need not rescan the columns to infer a bound.
+		var table *rapidviz.Table
+		table, err = rapidviz.TableFromCSVFile(*csvPath)
+		if err == nil {
+			groups, bound = table.Groups(), table.MaxValue()
+		}
 	default:
 		fmt.Fprintln(os.Stderr, "vizsample: need -csv FILE or -demo")
 		os.Exit(2)
@@ -60,7 +70,15 @@ func main() {
 		fatal(err)
 	}
 
-	q := rapidviz.Query{Delta: *delta, Resolution: *resolution, Seed: *seed, MaxDraws: *maxDraws}
+	q := rapidviz.Query{
+		Delta:       *delta,
+		Resolution:  *resolution,
+		Bound:       bound,
+		Seed:        *seed,
+		MaxDraws:    *maxDraws,
+		BatchSize:   *batch,
+		RoundGrowth: *growth,
+	}
 	switch *algo {
 	case "ifocus":
 		q.Algorithm = rapidviz.AlgoIFocus
@@ -123,7 +141,7 @@ func main() {
 		}
 	}
 
-	exact, err := eng.Run(ctx, rapidviz.Query{Algorithm: rapidviz.AlgoScan}, groups)
+	exact, err := eng.Run(ctx, rapidviz.Query{Algorithm: rapidviz.AlgoScan, Bound: bound}, groups)
 	if err != nil {
 		fatal(err)
 	}
@@ -138,54 +156,6 @@ func main() {
 	fmt.Print(res.Render())
 	fmt.Println("\nexact AVG (full scan):")
 	fmt.Print(exact.Render())
-}
-
-// loadCSV reads group,value rows.
-func loadCSV(path string) ([]rapidviz.Group, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	byGroup := map[string][]float64{}
-	var order []string
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" {
-			continue
-		}
-		parts := strings.SplitN(text, ",", 2)
-		if len(parts) != 2 {
-			return nil, fmt.Errorf("%s:%d: want group,value", path, line)
-		}
-		v, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-		if err != nil {
-			if line == 1 {
-				continue // header
-			}
-			return nil, fmt.Errorf("%s:%d: bad value: %v", path, line, err)
-		}
-		g := strings.TrimSpace(parts[0])
-		if _, ok := byGroup[g]; !ok {
-			order = append(order, g)
-		}
-		byGroup[g] = append(byGroup[g], v)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(order) == 0 {
-		return nil, fmt.Errorf("%s: no rows", path)
-	}
-	groups := make([]rapidviz.Group, 0, len(order))
-	for _, g := range order {
-		groups = append(groups, rapidviz.GroupFromValues(g, byGroup[g]))
-	}
-	return groups, nil
 }
 
 // demoGroups builds a small materialized flight-delay dataset.

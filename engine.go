@@ -3,6 +3,7 @@ package rapidviz
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -109,6 +110,12 @@ func DefaultEngine() *Engine { return defaultEngine() }
 // — cancellation and deadlines are honored between sampling rounds, so Run
 // returns promptly with ctx.Err() even mid-query. A nil ctx means
 // context.Background().
+//
+// The engine is safe for concurrent use, but materialized groups are not:
+// they carry without-replacement draw state that each run resets and
+// advances. Concurrent Run calls must use distinct group sets (rebuild
+// them, or ingest one table per goroutine); reusing one set across
+// *consecutive* runs is fine.
 func (e *Engine) Run(ctx context.Context, q Query, groups []Group) (*Result, error) {
 	return e.run(ctx, q, groups, nil)
 }
@@ -265,6 +272,12 @@ func (e *Engine) normalize(q Query, groups []Group) (Query, error) {
 	if q.MaxDraws < 0 {
 		return q, fmt.Errorf("rapidviz: MaxDraws must be non-negative, got %d", q.MaxDraws)
 	}
+	if q.BatchSize < 0 {
+		return q, fmt.Errorf("rapidviz: BatchSize must be non-negative, got %d", q.BatchSize)
+	}
+	if q.RoundGrowth != 0 && !(q.RoundGrowth >= 1 && !math.IsInf(q.RoundGrowth, 1)) {
+		return q, fmt.Errorf("rapidviz: RoundGrowth must be 0 or a finite value >= 1, got %v", q.RoundGrowth)
+	}
 	switch q.Guarantee {
 	case GuaranteeOrder, GuaranteeTrend:
 	case GuaranteeTopT:
@@ -385,6 +398,8 @@ func (e *Engine) spec(q Query, u *dataset.Universe, groups []Group) (core.Spec, 
 	opts.Resolution = q.Resolution
 	opts.WithReplacement = q.WithReplacement
 	opts.MaxRounds = q.MaxRounds
+	opts.BatchSize = q.BatchSize
+	opts.RoundGrowth = q.RoundGrowth
 
 	spec := core.Spec{
 		Algorithm:    q.Algorithm,

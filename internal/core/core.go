@@ -58,6 +58,23 @@ type Options struct {
 	// cap. When the cap triggers the result reports Capped=true and the
 	// guarantee is void.
 	MaxRounds int
+	// BatchSize is the number of fresh samples every still-active group
+	// draws per sampling round. 0 and 1 both select the paper's
+	// one-sample-per-round schedule and are bit-for-bit identical to the
+	// scalar algorithms; larger blocks amortize per-draw dispatch, RNG
+	// accounting, and the running-mean update over dense block draws, at
+	// the cost of up to BatchSize−1 samples per group past the point where
+	// its interval separated. The ε schedule is indexed by the cumulative
+	// per-group draw count, which the anytime union bound covers at every
+	// count simultaneously, so batching never weakens the guarantee.
+	BatchSize int
+	// RoundGrowth, when above 1, grows the per-round block geometrically:
+	// a group holding c cumulative samples draws
+	// max(BatchSize, ⌈(RoundGrowth−1)·c⌉) fresh samples next round, so the
+	// per-round bookkeeping (ε update, isolation sweep, tracing) runs only
+	// O(log) times in the total sample count. 0 and 1 keep blocks fixed at
+	// BatchSize. Values in (0, 1) are invalid.
+	RoundGrowth float64
 	// Tracer, when non-nil, observes every round (used by the convergence
 	// experiments behind Figures 5(c) and 6(a)).
 	Tracer Tracer
@@ -119,6 +136,14 @@ func (o *Options) validate(u *dataset.Universe) error {
 	}
 	if o.Resolution < 0 {
 		return fmt.Errorf("core: resolution must be non-negative, got %v", o.Resolution)
+	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("core: batch size must be non-negative, got %d", o.BatchSize)
+	}
+	// !(x >= 1) rather than x < 1 so NaN is rejected too; +Inf would
+	// silently overflow the block computation, so it is equally invalid.
+	if o.RoundGrowth != 0 && !(o.RoundGrowth >= 1 && !math.IsInf(o.RoundGrowth, 1)) {
+		return fmt.Errorf("core: round growth must be 0 or a finite value >= 1, got %v", o.RoundGrowth)
 	}
 	if !o.WithReplacement && u.MaxSize() == 0 {
 		return fmt.Errorf("core: without-replacement sampling requires known group sizes")
@@ -209,26 +234,42 @@ func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolate
 	}
 }
 
-// isolatedGeneral reports, for each index present in ivs, whether its
-// interval is disjoint from all others. Used by IREFINE, whose per-group
-// widths differ. O(n²) with n = number of groups, which the paper notes is
-// small (typically under 100).
-func isolatedGeneral(ivs map[int]interval, isolated []bool) {
-	for i := range isolated {
-		isolated[i] = false
+// isolatedGeneral reports, for every interval, whether it is disjoint from
+// all others. Used by IREFINE, the SUM estimators, and NOINDEX, whose
+// per-group widths differ. Sorting by lower endpoint reduces the check to
+// two neighbour comparisons per interval — the running maximum of earlier
+// upper endpoints and the successor's lower endpoint — so the sweep costs
+// O(n log n) where the previous pairwise check cost O(n²) every round.
+func isolatedGeneral(ivs []interval, isolated []bool) {
+	n := len(ivs)
+	switch n {
+	case 0:
+		return
+	case 1:
+		isolated[0] = true
+		return
 	}
-	for i, a := range ivs {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return ivs[order[a]].lo < ivs[order[b]].lo })
+	// An interval overlaps some predecessor (in lo order) iff the running
+	// max of predecessor his reaches its lo, and overlaps some successor
+	// iff the very next lo is at or below its hi — later los only grow.
+	prevMaxHi := math.Inf(-1)
+	for pos, idx := range order {
 		ok := true
-		for j, b := range ivs {
-			if i == j {
-				continue
-			}
-			if a.overlaps(b) {
-				ok = false
-				break
-			}
+		if pos > 0 && prevMaxHi >= ivs[idx].lo {
+			ok = false
 		}
-		isolated[i] = ok
+		if pos < n-1 && ivs[order[pos+1]].lo <= ivs[idx].hi {
+			ok = false
+		}
+		isolated[idx] = ok
+		if ivs[idx].hi > prevMaxHi {
+			prevMaxHi = ivs[idx].hi
+		}
 	}
 }
 

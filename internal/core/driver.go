@@ -1,0 +1,340 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/conc"
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// This file is the shared round driver. Every round-based algorithm in the
+// package — IFOCUS and its guarantee variants (trend, chloropleth, top-t,
+// values, mistakes), ROUNDROBIN, both SUM estimators, and the first phase
+// of MultiAgg — is the same loop with a different settling rule: seed
+// every group, then repeatedly (1) poll for cancellation, (2) recompute
+// the anytime half-width ε from the cumulative per-group draw count,
+// (3) draw a block of fresh samples from every still-active group,
+// (4) let the algorithm settle groups whose intervals have separated, and
+// (5) run the tracing / partial-result / round-cap bookkeeping. roundLoop
+// owns steps 1–3 and 5; a roundAlgo supplies step 4 and a handful of
+// behavioral switches.
+//
+// Batching: with Options.BatchSize = b, step 3 draws b fresh samples per
+// group through the dataset layer's block draw path (one dispatch, one
+// accounting update, and one running-mean division per block). BatchSize
+// ≤ 1 reproduces the paper's one-sample rounds bit for bit, incremental
+// running-mean update included — pinned by TestGoldenPins. Blocks can
+// additionally grow geometrically via Options.RoundGrowth. Because the
+// anytime schedule is simultaneously valid at every sample count, indexing
+// ε by the cumulative draw count keeps the union bound intact at any block
+// size; batching only trades bookkeeping frequency for up to one block of
+// extra samples per group.
+
+// roundAlgo packages what distinguishes one round-based algorithm from
+// another.
+type roundAlgo struct {
+	// decide runs after each round's draws and settles the groups whose
+	// intervals have separated (and applies any algorithm-specific exits,
+	// e.g. the resolution relaxation or the allowed-mistakes quota).
+	decide func(lp *roundLoop)
+	// drawOne, when set, replaces the sampler-native draw path (pair
+	// draws, normalized draws with auxiliary randomness). Block rounds
+	// loop it; accounting must go through sampler.Record inside the hook
+	// unless the hook itself draws through the sampler.
+	drawOne func(i int) float64
+	// afterDraws, when set, runs right after every draw phase (the seed
+	// round included) — e.g. the SUM estimator rescaling means into sums.
+	afterDraws func(lp *roundLoop)
+	// partialVal, when set, supplies the value reported to OnPartial
+	// (default: the group's running estimate).
+	partialVal func(i int) float64
+	// display, when set, is the estimate vector exposed to the tracer and
+	// the final Result (default: the running means).
+	display []float64
+	// traceFlags, when set, is passed to the tracer instead of the live
+	// active flags (ROUNDROBIN reports every group as active, as the
+	// scalar implementation always did).
+	traceFlags []bool
+	// seedTrace emits a tracer event for the seed round.
+	seedTrace bool
+	// fixedMaxN feeds the Serfling term max n_i over all groups instead of
+	// the shrinking max over active groups (ROUNDROBIN).
+	fixedMaxN bool
+	// keepExhaustedActive marks population-exhausted groups as drained —
+	// they stop drawing but stay active until decide ends the run
+	// (ROUNDROBIN) — instead of settling them.
+	keepExhaustedActive bool
+	// notifyPartials emits OnPartial events on ordinary settles.
+	notifyPartials bool
+	// capNotify emits OnPartial events for the groups force-settled by the
+	// MaxRounds cap.
+	capNotify bool
+}
+
+// roundLoop is the shared state of one run.
+type roundLoop struct {
+	u       *dataset.Universe
+	opts    *Options
+	sched   *conc.Schedule
+	sampler *dataset.Sampler
+	algo    roundAlgo
+
+	k         int
+	estimates []float64 // running means
+	active    []bool
+	settledR  []int
+	frozenEps []float64 // interval half-width at settle time
+	isolated  []bool
+	actIdx    []int
+	drained   []bool // keepExhaustedActive mode: drawing stopped
+	numActive int
+
+	m      int // round number
+	cum    int // cumulative draws per still-active group
+	eps    float64
+	capped bool
+	buf    []float64 // block draw buffer
+}
+
+// newRoundLoop builds the loop state. opts must already be validated.
+func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo roundAlgo) *roundLoop {
+	k := u.K()
+	return &roundLoop{
+		u:         u,
+		opts:      opts,
+		sched:     newSchedule(u, opts),
+		sampler:   dataset.NewSampler(u, rng, !opts.WithReplacement),
+		algo:      algo,
+		k:         k,
+		estimates: make([]float64, k),
+		active:    make([]bool, k),
+		settledR:  make([]int, k),
+		frozenEps: make([]float64, k),
+		isolated:  make([]bool, k),
+		actIdx:    make([]int, 0, k),
+		drained:   make([]bool, k),
+	}
+}
+
+// blockSize returns how many fresh samples each active group draws this
+// round: the fixed batch, grown geometrically from the cumulative count
+// when RoundGrowth asks for it. Always at least 1.
+func (lp *roundLoop) blockSize() int {
+	b := lp.opts.BatchSize
+	if b < 1 {
+		b = 1
+	}
+	if g := lp.opts.RoundGrowth; g > 1 {
+		if grown := int(math.Ceil((g - 1) * float64(lp.cum))); grown > b {
+			b = grown
+		}
+	}
+	return b
+}
+
+// run executes the whole loop: seed round, then rounds until every group
+// has settled. It returns only the context error.
+func (lp *roundLoop) run() error {
+	lp.seed()
+	for lp.numActive > 0 {
+		if err := lp.opts.interrupted(); err != nil {
+			return err
+		}
+		lp.m++
+		fresh := lp.blockSize()
+		var maxN int64
+		if !lp.opts.WithReplacement {
+			if lp.algo.fixedMaxN {
+				maxN = lp.u.MaxSize()
+			} else {
+				maxN = maxActiveSize(lp.u, lp.active)
+			}
+		}
+		lp.eps = lp.sched.EpsilonN(lp.cum+fresh, maxN) / lp.opts.HeuristicFactor
+		lp.drawRound(fresh)
+		lp.cum += fresh
+		if lp.algo.afterDraws != nil {
+			lp.algo.afterDraws(lp)
+		}
+		lp.algo.decide(lp)
+		lp.trace(lp.m, lp.eps)
+		if lp.opts.MaxRounds > 0 && lp.m >= lp.opts.MaxRounds && lp.numActive > 0 {
+			lp.capped = true
+			lp.settleAllRemaining(lp.algo.capNotify)
+		}
+	}
+	return nil
+}
+
+// seed runs round 1: every group starts active and draws one block.
+func (lp *roundLoop) seed() {
+	for i := 0; i < lp.k; i++ {
+		lp.active[i] = true
+	}
+	lp.numActive = lp.k
+	lp.m = 1
+	fresh := lp.blockSize()
+	lp.drawRound(fresh)
+	lp.cum = fresh
+	if lp.algo.afterDraws != nil {
+		lp.algo.afterDraws(lp)
+	}
+	if lp.algo.seedTrace {
+		lp.trace(1, lp.sched.Epsilon(lp.cum)/lp.opts.HeuristicFactor)
+	}
+}
+
+// drawRound draws up to fresh samples from every active, undrained group,
+// folding them into the running means. A group whose remaining population
+// cannot cover a full block draws what is left; one that has nothing left
+// settles at width zero (its running mean is exact) or, in
+// keepExhaustedActive mode, is marked drained.
+func (lp *roundLoop) drawRound(fresh int) {
+	for i := 0; i < lp.k; i++ {
+		if !lp.active[i] || lp.drained[i] {
+			continue
+		}
+		n := fresh
+		if !lp.opts.WithReplacement {
+			if sz := lp.u.Groups[i].Size(); sz > 0 {
+				remaining := sz - int64(lp.cum)
+				if remaining <= 0 {
+					if lp.algo.keepExhaustedActive {
+						lp.drained[i] = true
+					} else {
+						lp.settle(i, 0, lp.algo.notifyPartials)
+					}
+					continue
+				}
+				if int64(n) > remaining {
+					n = int(remaining)
+				}
+			}
+		}
+		lp.drawGroup(i, n)
+	}
+}
+
+// drawGroup folds n fresh samples into group i's running mean. The n == 1
+// path is the paper's incremental update, bit-for-bit what the scalar
+// algorithms computed; blocks accumulate a sum and pay one division.
+func (lp *roundLoop) drawGroup(i, n int) {
+	prev := lp.cum
+	nc := prev + n
+	if n == 1 {
+		var x float64
+		if lp.algo.drawOne != nil {
+			x = lp.algo.drawOne(i)
+		} else {
+			x = lp.sampler.Draw(i)
+		}
+		lp.estimates[i] = float64(nc-1)/float64(nc)*lp.estimates[i] + x/float64(nc)
+		return
+	}
+	sum := 0.0
+	if lp.algo.drawOne != nil {
+		for j := 0; j < n; j++ {
+			sum += lp.algo.drawOne(i)
+		}
+	} else {
+		if cap(lp.buf) < n {
+			lp.buf = make([]float64, n)
+		}
+		buf := lp.buf[:n]
+		lp.sampler.DrawBatch(i, buf)
+		for _, v := range buf {
+			sum += v
+		}
+	}
+	lp.estimates[i] = (float64(prev)*lp.estimates[i] + sum) / float64(nc)
+}
+
+// settle deactivates group i at the given interval half-width.
+func (lp *roundLoop) settle(i int, width float64, notify bool) {
+	lp.active[i] = false
+	lp.settledR[i] = lp.m
+	lp.frozenEps[i] = width
+	lp.numActive--
+	if notify && lp.opts.OnPartial != nil {
+		v := lp.estimates[i]
+		if lp.algo.partialVal != nil {
+			v = lp.algo.partialVal(i)
+		}
+		lp.opts.OnPartial(i, v, lp.m)
+	}
+}
+
+// width returns group i's current interval half-width: the live shared ε
+// while it is active, the frozen width after it settles.
+func (lp *roundLoop) width(i int) float64 {
+	if lp.active[i] {
+		return lp.eps
+	}
+	return lp.frozenEps[i]
+}
+
+// settleIsolated applies the equal-width isolation rule over the active
+// groups: any whose estimate is further than 2ε from both sorted
+// neighbours settles at the live ε.
+func (lp *roundLoop) settleIsolated() {
+	lp.actIdx = activeIndices(lp.active, lp.actIdx)
+	isolatedEqualWidth(lp.actIdx, lp.estimates, lp.eps, lp.isolated)
+	for _, i := range lp.actIdx {
+		if lp.isolated[i] {
+			lp.settle(i, lp.eps, lp.algo.notifyPartials)
+		}
+	}
+}
+
+// resolutionExit settles every remaining group once ε has dropped below
+// r/4: any two still-overlapping groups then have true aggregates within
+// the requested resolution, so both orderings are acceptable.
+func (lp *roundLoop) resolutionExit() {
+	if lp.opts.Resolution > 0 && lp.eps < lp.opts.Resolution/4 {
+		lp.settleAllRemaining(lp.algo.notifyPartials)
+	}
+}
+
+// settleAllRemaining settles every still-active group at the live ε.
+func (lp *roundLoop) settleAllRemaining(notify bool) {
+	for i := 0; i < lp.k; i++ {
+		if lp.active[i] {
+			lp.settle(i, lp.eps, notify)
+		}
+	}
+}
+
+// trace emits one tracer event, honoring the algorithm's display and flag
+// overrides.
+func (lp *roundLoop) trace(m int, eps float64) {
+	if lp.opts.Tracer == nil {
+		return
+	}
+	flags := lp.active
+	if lp.algo.traceFlags != nil {
+		flags = lp.algo.traceFlags
+	}
+	est := lp.estimates
+	if lp.algo.display != nil {
+		est = lp.algo.display
+	}
+	lp.opts.Tracer.OnRound(m, eps, flags, est, lp.sampler.Total())
+}
+
+// result assembles the common Result shape.
+func (lp *roundLoop) result() *Result {
+	est := lp.estimates
+	if lp.algo.display != nil {
+		est = lp.algo.display
+	}
+	return &Result{
+		Estimates:    est,
+		SampleCounts: append([]int64(nil), lp.sampler.Counts()...),
+		TotalSamples: lp.sampler.Total(),
+		Rounds:       lp.m,
+		SettledRound: lp.settledR,
+		FinalEpsilon: lp.eps,
+		Capped:       lp.capped,
+	}
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// benchUniverse is a 50-group × 1M-row slice universe of identically
+// distributed groups (uniform on [0, 100)). Means differ only by sampling
+// noise of the populations, so no interval ever separates within the
+// benchmark's round cap and every run draws exactly its per-group budget —
+// the fixed-work setup the throughput comparison needs. Built once
+// (~400 MB plus permutation state) and shared across sub-benchmarks.
+var benchUniverse = sync.OnceValue(func() *dataset.Universe {
+	const (
+		k    = 50
+		rows = 1_000_000
+	)
+	r := xrand.New(0x5ca1e)
+	groups := make([]dataset.Group, k)
+	for g := range groups {
+		values := make([]float64, rows)
+		for i := range values {
+			values[i] = 100 * r.Float64()
+		}
+		groups[g] = dataset.NewSliceGroup(fmt.Sprintf("g%02d", g), values)
+	}
+	return dataset.NewUniverse(100, groups...)
+})
+
+// BenchmarkIFocus measures end-to-end sampling throughput (samples/sec) of
+// the IFOCUS round loop at increasing block sizes on the 50×1M universe.
+// The acceptance bar for the batching refactor is ≥2× samples/sec at
+// batch=64 over batch=1.
+func BenchmarkIFocus(b *testing.B) {
+	const perGroup = 20_000 // samples per group per run
+	for _, batch := range []int{1, 64, 256} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			u := benchUniverse()
+			opts := DefaultOptions()
+			opts.BatchSize = batch
+			opts.MaxRounds = (perGroup + batch - 1) / batch
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := IFocus(u, xrand.New(uint64(i)+1), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Capped {
+					b.Fatal("benchmark run separated early; fixed-work assumption broken")
+				}
+				total += res.TotalSamples
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec")
+			b.ReportMetric(float64(total)/float64(b.N), "samples/op")
+		})
+	}
+}
+
+// BenchmarkIFocusGrowth measures the geometric-block schedule at the same
+// sampling depth.
+func BenchmarkIFocusGrowth(b *testing.B) {
+	u := benchUniverse()
+	opts := DefaultOptions()
+	opts.BatchSize = 64
+	opts.RoundGrowth = 1.1
+	// With growth the cumulative count multiplies by ~1.1 per round, so a
+	// small round cap reaches the same ~20k/group depth.
+	opts.MaxRounds = 62
+	var total int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := IFocus(u, xrand.New(uint64(i)+1), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		total += res.TotalSamples
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec")
+	b.ReportMetric(float64(total)/float64(b.N), "samples/op")
+}

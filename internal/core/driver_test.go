@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// algoRunner names one round-based entry point for the batch tests.
+type algoRunner struct {
+	name string
+	run  func(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
+}
+
+func batchRunners() []algoRunner {
+	return []algoRunner{
+		{"ifocus", IFocus},
+		{"roundrobin", RoundRobin},
+		{"trend", Trend},
+		{"values", func(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
+			return WithValues(u, rng, 8, opts)
+		}},
+		{"mistakes", func(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
+			return WithMistakes(u, rng, 0.8, opts)
+		}},
+		{"chloropleth", func(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
+			return Chloropleth(u, rng, GridAdjacency(2, 3), opts)
+		}},
+		{"topt", func(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
+			res, err := TopT(u, rng, 2, opts)
+			if err != nil {
+				return nil, err
+			}
+			return &res.Result, nil
+		}},
+		{"sum-known", SumKnownSizes},
+		{"sum-unknown", func(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
+			return SumUnknownSizes(u, dataset.NewMembershipFractionEstimator(u), rng, opts)
+		}},
+	}
+}
+
+// TestBatchSizeOneMatchesDefault pins the scalar contract on every
+// algorithm: BatchSize 0 (the default) and BatchSize 1 take the same code
+// path and must produce identical results — together with TestGoldenPins
+// (which pins the default to the pre-driver scalar implementations), this
+// certifies BatchSize=1 is seed-for-seed identical to the paper-faithful
+// originals.
+func TestBatchSizeOneMatchesDefault(t *testing.T) {
+	for _, ar := range batchRunners() {
+		t.Run(ar.name, func(t *testing.T) {
+			base, err := ar.run(pinUniverse(), xrand.New(77), DefaultOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := DefaultOptions()
+			opts.BatchSize = 1
+			one, err := ar.run(pinUniverse(), xrand.New(77), opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fingerprint(base, nil) != fingerprint(one, nil) {
+				t.Fatalf("BatchSize=1 diverged from default:\n%s\n%s",
+					fingerprint(one, nil), fingerprint(base, nil))
+			}
+		})
+	}
+}
+
+// TestBatchedRunsOrderCorrectly checks that block rounds preserve the
+// ordering guarantee machinery: estimates order like the true aggregates,
+// totals reconcile, and every group draws at least one block.
+func TestBatchedRunsOrderCorrectly(t *testing.T) {
+	for _, batch := range []int{4, 64} {
+		for _, ar := range batchRunners() {
+			t.Run(fmt.Sprintf("%s/batch=%d", ar.name, batch), func(t *testing.T) {
+				u := pinUniverse()
+				if ar.name == "sum-known" || ar.name == "sum-unknown" {
+					u = pinSumUniverse()
+				}
+				opts := DefaultOptions()
+				opts.BatchSize = batch
+				res, err := ar.run(u, xrand.New(101), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var sum int64
+				for i, c := range res.SampleCounts {
+					if c < int64(batch) && c < u.Groups[i].Size() {
+						t.Errorf("group %d drew %d samples, want at least one full block", i, c)
+					}
+					sum += c
+				}
+				if sum != res.TotalSamples {
+					t.Fatalf("sample counts sum to %d, TotalSamples %d", sum, res.TotalSamples)
+				}
+				if ar.name == "topt" || ar.name == "mistakes" {
+					return // partial-ordering guarantees; checked elsewhere
+				}
+				truth := u.TrueMeans()
+				if ar.name == "sum-known" {
+					for i, g := range u.Groups {
+						truth[i] *= float64(g.Size())
+					}
+				}
+				if ar.name == "sum-unknown" {
+					total := float64(u.TotalSize())
+					for i, g := range u.Groups {
+						truth[i] *= float64(g.Size()) / total
+					}
+				}
+				if ar.name == "trend" || ar.name == "chloropleth" {
+					// Adjacent-pair guarantees only.
+					for i := 1; i < len(truth); i++ {
+						if (truth[i] > truth[i-1]) != (res.Estimates[i] > res.Estimates[i-1]) {
+							t.Errorf("adjacent pair (%d,%d) misordered", i-1, i)
+						}
+					}
+					return
+				}
+				if !CorrectOrdering(res.Estimates, truth) {
+					t.Fatalf("batched run misordered: est=%v truth=%v", res.Estimates, truth)
+				}
+			})
+		}
+	}
+}
+
+// TestBatchExhaustsTinyGroups: a block larger than the group's population
+// clamps to what is left, and fully consumed groups settle at their exact
+// mean.
+func TestBatchExhaustsTinyGroups(t *testing.T) {
+	ga := dataset.NewSliceGroup("a", []float64{48, 50, 52})
+	gb := dataset.NewSliceGroup("b", []float64{58, 60, 62})
+	u := dataset.NewUniverse(100, ga, gb)
+	opts := DefaultOptions()
+	opts.BatchSize = 64
+	res, err := IFocus(u, xrand.New(5), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimates[0] != 50 || res.Estimates[1] != 60 {
+		t.Fatalf("exhausted groups should report exact means, got %v", res.Estimates)
+	}
+	if res.SampleCounts[0] != 3 || res.SampleCounts[1] != 3 {
+		t.Fatalf("counts should clamp to population, got %v", res.SampleCounts)
+	}
+}
+
+// TestRoundGrowthReducesRounds: geometric blocks reach the same sampling
+// depth in logarithmically many rounds.
+func TestRoundGrowthReducesRounds(t *testing.T) {
+	opts := DefaultOptions()
+	scalar, err := IFocus(pinUniverse(), xrand.New(7), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.RoundGrowth = 1.5
+	grown, err := IFocus(pinUniverse(), xrand.New(7), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Rounds >= scalar.Rounds/4 {
+		t.Fatalf("RoundGrowth=1.5 used %d rounds, scalar %d; want a large reduction",
+			grown.Rounds, scalar.Rounds)
+	}
+	if !CorrectOrdering(grown.Estimates, pinUniverse().TrueMeans()) {
+		t.Fatalf("grown run misordered: %v", grown.Estimates)
+	}
+}
+
+// TestBatchOptionValidation rejects nonsense batching parameters at every
+// entry point that validates options.
+func TestBatchOptionValidation(t *testing.T) {
+	u := pinUniverse()
+	opts := DefaultOptions()
+	opts.BatchSize = -1
+	if _, err := IFocus(u, xrand.New(1), opts); err == nil {
+		t.Fatal("negative BatchSize accepted")
+	}
+	opts = DefaultOptions()
+	opts.RoundGrowth = 0.5
+	if _, err := IFocus(u, xrand.New(1), opts); err == nil {
+		t.Fatal("RoundGrowth in (0,1) accepted")
+	}
+	opts = DefaultOptions()
+	opts.BatchSize = -1
+	if _, err := NoIndex(NewUniverseTupleSource(u), xrand.New(1), opts, 0); err == nil {
+		t.Fatal("NoIndex accepted negative BatchSize")
+	}
+}
+
+// TestNoIndexBatchCadence: batching a no-index run scales the check
+// cadence without changing the per-draw statistics; the run still orders
+// correctly and still honors maxDraws.
+func TestNoIndexBatchCadence(t *testing.T) {
+	u := pinUniverse()
+	opts := DefaultOptions()
+	opts.BatchSize = 16
+	res, err := NoIndex(NewUniverseTupleSource(u), xrand.New(43), opts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !CorrectOrdering(res.Estimates, u.TrueMeans()) {
+		t.Fatalf("batched no-index misordered: %v", res.Estimates)
+	}
+	capped, err := NoIndex(NewUniverseTupleSource(u), xrand.New(43), opts, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Capped || capped.TotalSamples != 100 {
+		t.Fatalf("maxDraws ignored under batching: capped=%v total=%d", capped.Capped, capped.TotalSamples)
+	}
+}
+
+// TestMultiAggBatched: the pair estimator accepts block rounds (the draw
+// hook loops per block) and both orderings stay correct.
+func TestMultiAggBatched(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BatchSize = 32
+	res, err := MultiAgg(pinPairUniverse(), xrand.New(41), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yOrder := Ranking(res.EstimatesY)
+	zOrder := Ranking(res.EstimatesZ)
+	wantY := []int{3, 2, 1, 0}
+	wantZ := []int{0, 1, 2, 3}
+	for i := range wantY {
+		if yOrder[i] != wantY[i] || zOrder[i] != wantZ[i] {
+			t.Fatalf("batched multi-agg misordered: y=%v z=%v", yOrder, zOrder)
+		}
+	}
+}
+
+// TestBatchReducesRoundsProportionally: a block of b samples advances the
+// cumulative count b at a time, so round counts shrink by about b while
+// totals stay within one block per group of the scalar run's depth.
+func TestBatchReducesRoundsProportionally(t *testing.T) {
+	scalar, err := IFocus(pinUniverse(), xrand.New(7), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.BatchSize = 64
+	batched, err := IFocus(pinUniverse(), xrand.New(7), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Rounds > scalar.Rounds/32 {
+		t.Fatalf("batch=64 used %d rounds vs scalar %d; want ~64x fewer", batched.Rounds, scalar.Rounds)
+	}
+	// Settling granularity is one block, so per-group draws may exceed the
+	// scalar run's by at most ~one block (plus sampling noise from the
+	// different stream).
+	perGroup := make([]int64, len(batched.SampleCounts))
+	copy(perGroup, batched.SampleCounts)
+	sort.Slice(perGroup, func(a, b int) bool { return perGroup[a] > perGroup[b] })
+	maxScalar := int64(0)
+	for _, c := range scalar.SampleCounts {
+		if c > maxScalar {
+			maxScalar = c
+		}
+	}
+	if perGroup[0] > 4*maxScalar+64 {
+		t.Fatalf("batched run drew far deeper than scalar: %d vs %d", perGroup[0], maxScalar)
+	}
+}

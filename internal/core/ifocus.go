@@ -13,123 +13,32 @@ import (
 // ordered correctly.
 //
 // The algorithm proceeds in rounds. Round m=1 seeds every group with one
-// sample. Each later round takes one fresh sample from every *active* group
-// (one whose confidence interval still overlaps another active group's
-// interval), recomputes the shared anytime half-width ε_m, and deactivates
-// groups whose intervals have separated. Inactive groups are never
-// reactivated (paper §3.1, option (a) — required for the optimality
-// property). Sampling stops when no active groups remain.
+// block of samples. Each later round takes one fresh block from every
+// *active* group (one whose confidence interval still overlaps another
+// active group's interval), recomputes the shared anytime half-width ε,
+// and deactivates groups whose intervals have separated. Inactive groups
+// are never reactivated (paper §3.1, option (a) — required for the
+// optimality property). Sampling stops when no active groups remain. With
+// opts.BatchSize ≤ 1 the blocks are single samples and the run is
+// bit-for-bit the paper's Algorithm 1.
 func IFocus(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
 	if err := opts.validate(u); err != nil {
 		return nil, err
 	}
-	k := u.K()
-	sched := newSchedule(u, &opts)
-	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
-
-	estimates := make([]float64, k)
-	active := make([]bool, k)
-	settled := make([]int, k)
-	isolated := make([]bool, k)
-	actIdx := make([]int, 0, k)
-
-	// Round 1: one sample from every group.
-	for i := 0; i < k; i++ {
-		estimates[i] = sampler.Draw(i)
-		active[i] = true
+	lp := newRoundLoop(u, rng, &opts, roundAlgo{
+		seedTrace:      true,
+		notifyPartials: true,
+		capNotify:      true,
+		decide: func(lp *roundLoop) {
+			// Deactivate groups whose intervals separated from all other
+			// active intervals (Lines 10–12). All active intervals share ε,
+			// so the sorted-neighbour sweep applies.
+			lp.settleIsolated()
+			lp.resolutionExit()
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
 	}
-	res := &Result{
-		Estimates:    estimates,
-		SettledRound: settled,
-		Rounds:       1,
-	}
-	numActive := k
-	m := 1
-	if opts.Tracer != nil {
-		opts.Tracer.OnRound(m, sched.Epsilon(m)/opts.HeuristicFactor, active, estimates, sampler.Total())
-	}
-
-	settle := func(i, round int) {
-		active[i] = false
-		settled[i] = round
-		numActive--
-		if opts.OnPartial != nil {
-			opts.OnPartial(i, estimates[i], round)
-		}
-	}
-
-	var eps float64
-	for numActive > 0 {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		// Update the confidence-interval half-width (Line 6). The Serfling
-		// correction uses max over the *active* groups' sizes, which shrinks
-		// as large groups deactivate.
-		var maxN int64
-		if !opts.WithReplacement {
-			maxN = maxActiveSize(u, active)
-		}
-		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
-
-		// One fresh sample per active group; groups whose population is
-		// exhausted have exact means and settle immediately.
-		for i := 0; i < k; i++ {
-			if !active[i] {
-				continue
-			}
-			if !opts.WithReplacement {
-				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
-					// Every element has been seen: the running mean is the
-					// exact group mean and the interval is a point.
-					settle(i, m)
-					continue
-				}
-			}
-			x := sampler.Draw(i)
-			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
-		}
-
-		// Deactivate groups whose intervals separated from all other active
-		// intervals (Lines 10–12). All active intervals share ε, so the
-		// sorted-neighbour sweep applies. The check uses a snapshot of the
-		// active set so removal order cannot matter.
-		actIdx = activeIndices(active, actIdx)
-		isolatedEqualWidth(actIdx, estimates, eps, isolated)
-		for _, i := range actIdx {
-			if isolated[i] {
-				settle(i, m)
-			}
-		}
-
-		// Resolution relaxation (Problem 2): once ε < r/4, any two groups
-		// still overlapping have means within r of each other, so both
-		// orderings are acceptable — stop.
-		if opts.Resolution > 0 && eps < opts.Resolution/4 {
-			for _, i := range actIdx {
-				if active[i] {
-					settle(i, m)
-				}
-			}
-		}
-
-		if opts.Tracer != nil {
-			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
-			res.Capped = true
-			for _, i := range actIdx {
-				if active[i] {
-					settle(i, m)
-				}
-			}
-		}
-	}
-
-	res.Rounds = m
-	res.FinalEpsilon = eps
-	res.TotalSamples = sampler.Total()
-	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
-	return res, nil
+	return lp.result(), nil
 }

@@ -30,6 +30,7 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 	active := make([]bool, k)
 	settled := make([]int, k)
 	isolated := make([]bool, k)
+	buf := make([]float64, drawChunk)
 
 	// Initialization (Lines 1–4): the whole domain is the first interval.
 	for i := 0; i < k; i++ {
@@ -56,13 +57,13 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 			// Figure 5 experiments can shrink faster than theory allows.
 			epsilons[i] /= 2
 			deltas[i] /= 2
-			estimates[i] = estimateMean(sampler, i, u.C, epsilons[i]*opts.HeuristicFactor, deltas[i])
+			estimates[i] = estimateMean(sampler, i, u.C, epsilons[i]*opts.HeuristicFactor, deltas[i], buf)
 		}
 
 		// Deactivate groups whose intervals no longer intersect any other
 		// group's interval (Line 10). Widths differ per group, so the
-		// general pairwise check is used.
-		ivs := make(map[int]interval, k)
+		// general disjointness sweep is used.
+		ivs := make([]interval, k)
 		for i := 0; i < k; i++ {
 			ivs[i] = interval{estimates[i] - epsilons[i], estimates[i] + epsilons[i]}
 		}
@@ -114,10 +115,17 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 	return res, nil
 }
 
+// drawChunk bounds the block buffer of estimateMean: Hoeffding batches can
+// run to 10⁵+ samples, so they stream through a fixed-size buffer instead
+// of materializing the whole batch.
+const drawChunk = 4096
+
 // estimateMean is Algorithm 2: it draws enough fresh samples that the
 // returned mean is within ±eps of the true mean with probability 1−delta,
-// by the Chernoff–Hoeffding bound.
-func estimateMean(s *dataset.Sampler, group int, c, eps, delta float64) float64 {
+// by the Chernoff–Hoeffding bound. Draws go through the sampler's block
+// path chunk by chunk; the sample stream and the accumulated sum are
+// identical to the scalar draw loop, just without a dispatch per sample.
+func estimateMean(s *dataset.Sampler, group int, c, eps, delta float64, buf []float64) float64 {
 	m := conc.HoeffdingSampleSize(c, eps, delta)
 	// Cap the batch at the remaining population when sampling without
 	// replacement from a finite group: once the whole group is consumed the
@@ -132,8 +140,16 @@ func estimateMean(s *dataset.Sampler, group int, c, eps, delta float64) float64 
 		}
 	}
 	sum := 0.0
-	for j := 0; j < m; j++ {
-		sum += s.Draw(group)
+	for drawn := 0; drawn < m; {
+		n := m - drawn
+		if n > len(buf) {
+			n = len(buf)
+		}
+		s.DrawBatch(group, buf[:n])
+		for _, v := range buf[:n] {
+			sum += v
+		}
+		drawn += n
 	}
 	return sum / float64(m)
 }

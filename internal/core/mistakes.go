@@ -30,49 +30,16 @@ func WithMistakes(u *dataset.Universe, rng *xrand.RNG, gamma float64, opts Optio
 	}
 	needed := int(float64(totalPairs) * gamma)
 
-	sched := newSchedule(u, &opts)
-	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
-
-	estimates := make([]float64, k)
-	active := make([]bool, k)
-	settled := make([]int, k)
-	frozenEps := make([]float64, k)
-	isolated := make([]bool, k)
-	actIdx := make([]int, 0, k)
-
-	for i := 0; i < k; i++ {
-		estimates[i] = sampler.Draw(i)
-		active[i] = true
-	}
-	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
-	numActive := k
-	m := 1
-
-	settle := func(i, round int, eps float64, notify bool) {
-		active[i] = false
-		settled[i] = round
-		frozenEps[i] = eps
-		numActive--
-		if notify && opts.OnPartial != nil {
-			opts.OnPartial(i, estimates[i], round)
-		}
-	}
-
-	// certainPairs counts pairs whose intervals are disjoint right now.
-	width := func(i int, liveEps float64) float64 {
-		if active[i] {
-			return liveEps
-		}
-		return frozenEps[i]
-	}
-	certainPairs := func(liveEps float64) int {
+	// certainPairs counts pairs whose intervals (frozen for settled groups,
+	// live for active ones) are disjoint right now.
+	certainPairs := func(lp *roundLoop) int {
 		certain := 0
 		for i := 0; i < k; i++ {
-			wi := width(i, liveEps)
+			wi := lp.width(i)
 			for j := i + 1; j < k; j++ {
-				wj := width(j, liveEps)
-				lo1, hi1 := estimates[i]-wi, estimates[i]+wi
-				lo2, hi2 := estimates[j]-wj, estimates[j]+wj
+				wj := lp.width(j)
+				lo1, hi1 := lp.estimates[i]-wi, lp.estimates[i]+wi
+				lo2, hi2 := lp.estimates[j]-wj, lp.estimates[j]+wj
 				if hi1 < lo2 || hi2 < lo1 {
 					certain++
 				}
@@ -81,72 +48,21 @@ func WithMistakes(u *dataset.Universe, rng *xrand.RNG, gamma float64, opts Optio
 		return certain
 	}
 
-	var eps float64
-	for numActive > 0 {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		var maxN int64
-		if !opts.WithReplacement {
-			maxN = maxActiveSize(u, active)
-		}
-		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
-
-		for i := 0; i < k; i++ {
-			if !active[i] {
-				continue
+	lp := newRoundLoop(u, rng, &opts, roundAlgo{
+		notifyPartials: true,
+		decide: func(lp *roundLoop) {
+			lp.settleIsolated()
+			lp.resolutionExit()
+			if lp.numActive > 0 && certainPairs(lp) >= needed {
+				// Quota met: abandon the remaining contended groups at their
+				// current estimates (their pairs are the permitted mistakes,
+				// so no partial-result notification fires for them).
+				lp.settleAllRemaining(false)
 			}
-			if !opts.WithReplacement {
-				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
-					settle(i, m, 0, true)
-					continue
-				}
-			}
-			x := sampler.Draw(i)
-			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
-		}
-
-		actIdx = activeIndices(active, actIdx)
-		isolatedEqualWidth(actIdx, estimates, eps, isolated)
-		for _, i := range actIdx {
-			if isolated[i] {
-				settle(i, m, eps, true)
-			}
-		}
-		if opts.Resolution > 0 && eps < opts.Resolution/4 {
-			for _, i := range actIdx {
-				if active[i] {
-					settle(i, m, eps, true)
-				}
-			}
-		}
-		if numActive > 0 && certainPairs(eps) >= needed {
-			// Quota met: abandon the remaining contended groups at their
-			// current estimates (their pairs are the permitted mistakes,
-			// so no partial-result notification fires for them).
-			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m, eps, false)
-				}
-			}
-		}
-		if opts.Tracer != nil {
-			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
-			res.Capped = true
-			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m, eps, false)
-				}
-			}
-		}
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
 	}
-
-	res.Rounds = m
-	res.FinalEpsilon = eps
-	res.TotalSamples = sampler.Total()
-	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
-	return res, nil
+	return lp.result(), nil
 }

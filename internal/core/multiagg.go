@@ -54,15 +54,50 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 	// Both phases run at δ/2 so the union bound covers the pair.
 	half := opts
 	half.Delta = opts.Delta / 2
-	sched := newSchedule(u, &half)
 
-	estY := make([]float64, k)
 	estZ := make([]float64, k)
-	counts := make([]int64, k)
-	activeY := make([]bool, k)
-	isolated := make([]bool, k)
-	actIdx := make([]int, 0, k)
+	zcnt := make([]int64, k)
 
+	// Phase 1: IFOCUS on Y through the shared driver. Z estimates ride
+	// along for free: the draw hook folds each tuple's Z into its own
+	// running mean (same incremental update, same count) before handing Y
+	// back to the driver. No partial-result events fire — a Y-settled
+	// group's estimates still move if phase 2 keeps drawing from it.
+	var lp *roundLoop
+	lp = newRoundLoop(u, rng, &half, roundAlgo{
+		drawOne: func(i int) float64 {
+			y, z := pairs[i].DrawPair(rng)
+			lp.sampler.Record(i, 1)
+			zcnt[i]++
+			zm := float64(zcnt[i])
+			estZ[i] = (zm-1)/zm*estZ[i] + z/zm
+			return y
+		},
+		decide: func(lp *roundLoop) {
+			lp.settleIsolated()
+			lp.resolutionExit()
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
+	}
+	estY := lp.estimates
+	counts := lp.sampler.Counts()
+	sched := lp.sched
+	isolated := lp.isolated
+	res := &MultiResult{
+		EstimatesY:   estY,
+		EstimatesZ:   estZ,
+		SampleCounts: counts,
+		RoundsY:      lp.m,
+		Capped:       lp.capped,
+	}
+
+	// Phase 2: IFOCUS on Z, warm-started. Group i already has counts[i]
+	// samples; the anytime schedule is valid at every m simultaneously, so
+	// its current interval [estZ[i] ± ε(counts[i])] is immediately usable.
+	// Per-group widths now differ, so the general disjointness check is
+	// used, and each round advances every active group by one sample.
 	draw := func(i int) {
 		y, z := pairs[i].DrawPair(rng)
 		counts[i]++
@@ -70,78 +105,18 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 		estY[i] = (m-1)/m*estY[i] + y/m
 		estZ[i] = (m-1)/m*estZ[i] + z/m
 	}
-
-	// Phase 1: IFOCUS on Y. Z estimates ride along for free.
-	for i := 0; i < k; i++ {
-		draw(i)
-		activeY[i] = true
-	}
-	numActive := k
-	m := 1
-	res := &MultiResult{EstimatesY: estY, EstimatesZ: estZ, SampleCounts: counts}
-	for numActive > 0 {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		var maxN int64
-		if !opts.WithReplacement {
-			maxN = maxActiveSize(u, activeY)
-		}
-		eps := sched.EpsilonN(m, maxN) / opts.HeuristicFactor
-		for i := 0; i < k; i++ {
-			if !activeY[i] {
-				continue
-			}
-			if !opts.WithReplacement {
-				if n := u.Groups[i].Size(); n > 0 && counts[i] >= n {
-					activeY[i] = false
-					numActive--
-					continue
-				}
-			}
-			draw(i)
-		}
-		actIdx = activeIndices(activeY, actIdx)
-		isolatedEqualWidth(actIdx, estY, eps, isolated)
-		for _, i := range actIdx {
-			if isolated[i] {
-				activeY[i] = false
-				numActive--
-			}
-		}
-		if opts.Resolution > 0 && eps < opts.Resolution/4 {
-			for _, i := range actIdx {
-				if activeY[i] {
-					activeY[i] = false
-					numActive--
-				}
-			}
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
-			res.Capped = true
-			break
-		}
-	}
-	res.RoundsY = m
-
-	// Phase 2: IFOCUS on Z, warm-started. Group i already has counts[i]
-	// samples; the anytime schedule is valid at every m simultaneously, so
-	// its current interval [estZ[i] ± ε(counts[i])] is immediately usable.
-	// Per-group widths now differ, so the general disjointness check is
-	// used, and each round advances every active group by one sample.
 	activeZ := make([]bool, k)
 	for i := 0; i < k; i++ {
 		activeZ[i] = true
 	}
-	numActive = k
+	numActive := k
 	rounds := 0
+	ivs := make([]interval, k)
 	for numActive > 0 {
 		if err := opts.interrupted(); err != nil {
 			return nil, err
 		}
 		rounds++
-		ivs := make(map[int]interval, k)
 		for i := 0; i < k; i++ {
 			var w float64
 			if !opts.WithReplacement {

@@ -103,6 +103,9 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 	if opts.HeuristicFactor == 0 {
 		opts.HeuristicFactor = 1
 	}
+	if opts.BatchSize < 0 {
+		return nil, fmt.Errorf("core: batch size must be non-negative, got %d", opts.BatchSize)
+	}
 	// Table-wide draws return each group's tuples with replacement; the
 	// with-replacement schedule applies.
 	sched := conc.MustSchedule(src.C(), k, opts.Delta, opts.Kappa, 0)
@@ -110,12 +113,19 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 	estimates := make([]float64, k)
 	counts := make([]int64, k)
 	isolated := make([]bool, k)
+	ivs := make([]interval, k)
 	var total int64
 
 	res := &NoIndexResult{Estimates: estimates, SampleCounts: counts}
-	// Check cadence: interval checks are O(k²); doing one per draw would
-	// dominate, so check every k draws (one "round" worth).
-	checkEvery := int64(k)
+	// Check cadence: interval checks cost O(k log k); doing one per draw
+	// would dominate, so check every k draws (one "round" worth), scaled by
+	// the batch size — table-wide draws cannot be targeted per group, so
+	// batching here means drawing a block of tuples between checks.
+	batch := opts.BatchSize
+	if batch < 1 {
+		batch = 1
+	}
+	checkEvery := int64(k) * int64(batch)
 	for {
 		if total%checkEvery == 0 {
 			if err := opts.interrupted(); err != nil {
@@ -137,7 +147,6 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 				}
 			}
 			if seen {
-				ivs := make(map[int]interval, k)
 				maxEps := 0.0
 				for i := 0; i < k; i++ {
 					w := sched.EpsilonN(int(counts[i]), 0) / opts.HeuristicFactor

@@ -7,9 +7,10 @@ import (
 
 // RoundRobin is the paper's baseline: conventional round-robin stratified
 // sampling, adapted so that it terminates with the same ordering guarantee
-// as IFOCUS. Every round takes one sample from *every* group — active or
-// not — and the run ends only when no two groups' confidence intervals
-// overlap (or, with opts.Resolution > 0 — ROUNDROBIN-R — when ε < r/4).
+// as IFOCUS. Every round takes one block of samples from *every* group —
+// contended or not — and the run ends only when no two groups' confidence
+// intervals overlap (or, with opts.Resolution > 0 — ROUNDROBIN-R — when
+// ε < r/4).
 //
 // The confidence-interval machinery is identical to IFOCUS; the only
 // difference is that sampling is never focused on the contentious groups,
@@ -19,88 +20,39 @@ func RoundRobin(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, err
 		return nil, err
 	}
 	k := u.K()
-	sched := newSchedule(u, &opts)
-	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
-
-	estimates := make([]float64, k)
-	exhausted := make([]bool, k)
-	settled := make([]int, k)
-	isolated := make([]bool, k)
 	all := make([]int, k)
+	allFlags := make([]bool, k)
 	for i := range all {
 		all[i] = i
-	}
-
-	for i := 0; i < k; i++ {
-		estimates[i] = sampler.Draw(i)
-	}
-	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
-
-	m := 1
-	var eps float64
-	allFlags := make([]bool, k)
-	for i := range allFlags {
 		allFlags[i] = true
 	}
-	if opts.Tracer != nil {
-		opts.Tracer.OnRound(m, sched.Epsilon(m)/opts.HeuristicFactor, allFlags, estimates, sampler.Total())
-	}
-	for {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		var maxN int64
-		if !opts.WithReplacement {
-			maxN = u.MaxSize()
-		}
-		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
-
-		for i := 0; i < k; i++ {
-			if exhausted[i] {
-				continue
-			}
-			if !opts.WithReplacement {
-				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
-					// The group's population is fully consumed; its running
-					// mean is exact and further draws add nothing.
-					exhausted[i] = true
-					continue
+	lp := newRoundLoop(u, rng, &opts, roundAlgo{
+		seedTrace: true,
+		// Round-robin never narrows its focus: the Serfling term keeps the
+		// global max n_i, population-exhausted groups merely stop drawing,
+		// and the tracer reports every group as live.
+		fixedMaxN:           true,
+		keepExhaustedActive: true,
+		traceFlags:          allFlags,
+		decide: func(lp *roundLoop) {
+			isolatedEqualWidth(all, lp.estimates, lp.eps, lp.isolated)
+			done := true
+			for i := 0; i < k; i++ {
+				if !lp.isolated[i] && !lp.drained[i] {
+					done = false
+					break
 				}
 			}
-			x := sampler.Draw(i)
-			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
-		}
-
-		isolatedEqualWidth(all, estimates, eps, isolated)
-		done := true
-		for i := 0; i < k; i++ {
-			if !isolated[i] && !exhausted[i] {
-				done = false
-				break
+			if lp.opts.Resolution > 0 && lp.eps < lp.opts.Resolution/4 {
+				done = true
 			}
-		}
-		if opts.Resolution > 0 && eps < opts.Resolution/4 {
-			done = true
-		}
-		if opts.Tracer != nil {
-			opts.Tracer.OnRound(m, eps, allFlags, estimates, sampler.Total())
-		}
-		if done {
-			break
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds {
-			res.Capped = true
-			break
-		}
+			if done {
+				lp.settleAllRemaining(false)
+			}
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
 	}
-
-	for i := range settled {
-		settled[i] = m
-	}
-	res.Rounds = m
-	res.FinalEpsilon = eps
-	res.TotalSamples = sampler.Total()
-	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
-	return res, nil
+	return lp.result(), nil
 }

@@ -24,122 +24,73 @@ func SumKnownSizes(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, 
 		}
 	}
 	k := u.K()
-	sched := newSchedule(u, &opts)
-	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
-
 	sizes := make([]float64, k)
 	for i, g := range u.Groups {
 		sizes[i] = float64(g.Size())
 	}
-	means := make([]float64, k)    // running means
-	sums := make([]float64, k)     // ν_i = n_i · mean_i
-	epsConst := make([]float64, k) // per-group ε scale n_i
-	active := make([]bool, k)
-	settled := make([]int, k)
-	isolated := make([]bool, k)
+	sums := make([]float64, k) // ν_i = n_i · mean_i
+	ivs := make([]interval, k)
+	toSettle := make([]int, 0, k)
 
-	for i := 0; i < k; i++ {
-		means[i] = sampler.Draw(i)
-		sums[i] = sizes[i] * means[i]
-		epsConst[i] = sizes[i]
-		active[i] = true
-	}
-	res := &Result{Estimates: sums, SettledRound: settled, Rounds: 1}
-	numActive := k
-	m := 1
-	frozenEps := make([]float64, k)
-
-	settle := func(i, round int, eps float64) {
-		active[i] = false
-		settled[i] = round
-		frozenEps[i] = eps
-		numActive--
-		if opts.OnPartial != nil {
-			opts.OnPartial(i, sums[i], round)
-		}
-	}
-
-	var baseEps float64
-	for numActive > 0 {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		var maxN int64
-		if !opts.WithReplacement {
-			maxN = maxActiveSize(u, active)
-		}
-		baseEps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
-
-		for i := 0; i < k; i++ {
-			if !active[i] {
-				continue
-			}
-			if !opts.WithReplacement {
-				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
-					settle(i, m, 0)
-					continue
-				}
-			}
-			x := sampler.Draw(i)
-			means[i] = float64(m-1)/float64(m)*means[i] + x/float64(m)
-			sums[i] = sizes[i] * means[i]
-		}
-
-		ivs := make(map[int]interval, k)
-		for i := 0; i < k; i++ {
-			w := frozenEps[i]
-			if active[i] {
-				w = epsConst[i] * baseEps
-			}
-			ivs[i] = interval{sums[i] - w, sums[i] + w}
-		}
-		isolatedGeneral(ivs, isolated)
-		var toSettle []int
-		for i := 0; i < k; i++ {
-			if active[i] && isolated[i] {
-				toSettle = append(toSettle, i)
-			}
-		}
-		for _, i := range toSettle {
-			settle(i, m, epsConst[i]*baseEps)
-		}
-		// The resolution r of Problem 2 is interpreted in sum units here:
-		// stop once every active group's scaled width is below r/4.
-		if opts.Resolution > 0 {
-			all := true
+	lp := newRoundLoop(u, rng, &opts, roundAlgo{
+		notifyPartials: true,
+		capNotify:      true,
+		display:        sums,
+		partialVal:     func(i int) float64 { return sums[i] },
+		afterDraws: func(lp *roundLoop) {
+			// The driver advances the running means; rescale into sums.
+			// Settled groups' means are frozen, so recomputing every entry
+			// is idempotent for them.
 			for i := 0; i < k; i++ {
-				if active[i] && epsConst[i]*baseEps >= opts.Resolution/4 {
-					all = false
-					break
+				sums[i] = sizes[i] * lp.estimates[i]
+			}
+		},
+		decide: func(lp *roundLoop) {
+			// Widths differ per group (scaled by n_i), so the general
+			// disjointness sweep applies, over frozen widths for settled
+			// groups and n_i·ε for active ones.
+			for i := 0; i < k; i++ {
+				w := lp.frozenEps[i]
+				if lp.active[i] {
+					w = sizes[i] * lp.eps
+				}
+				ivs[i] = interval{sums[i] - w, sums[i] + w}
+			}
+			isolatedGeneral(ivs, lp.isolated)
+			toSettle = toSettle[:0]
+			for i := 0; i < k; i++ {
+				if lp.active[i] && lp.isolated[i] {
+					toSettle = append(toSettle, i)
 				}
 			}
-			if all {
+			for _, i := range toSettle {
+				lp.settle(i, sizes[i]*lp.eps, true)
+			}
+			// The resolution r of Problem 2 is interpreted in sum units
+			// here: stop once every active group's scaled width is below
+			// r/4.
+			if opts.Resolution > 0 {
+				all := true
 				for i := 0; i < k; i++ {
-					if active[i] {
-						settle(i, m, epsConst[i]*baseEps)
+					if lp.active[i] && sizes[i]*lp.eps >= opts.Resolution/4 {
+						all = false
+						break
+					}
+				}
+				if all {
+					for i := 0; i < k; i++ {
+						if lp.active[i] {
+							lp.settle(i, sizes[i]*lp.eps, true)
+						}
 					}
 				}
 			}
-		}
-		if opts.Tracer != nil {
-			opts.Tracer.OnRound(m, baseEps, active, sums, sampler.Total())
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
-			res.Capped = true
-			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m, epsConst[i]*baseEps)
-				}
-			}
-		}
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
 	}
-
-	res.Rounds = m
-	res.FinalEpsilon = baseEps
-	res.TotalSamples = sampler.Total()
-	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
-	return res, nil
+	return lp.result(), nil
 }
 
 // SumUnknownSizes implements IFOCUS–Sum2 (Algorithm 5, §6.3.1): ordering-
@@ -161,82 +112,25 @@ func SumUnknownSizes(u *dataset.Universe, est dataset.FractionEstimator, rng *xr
 	if err := opts.validate(u); err != nil {
 		return nil, err
 	}
-	k := u.K()
-	sched := newSchedule(u, &opts)
-	sampler := dataset.NewSampler(u, rng, false)
-
-	estimates := make([]float64, k)
-	active := make([]bool, k)
-	settled := make([]int, k)
-	isolated := make([]bool, k)
-	actIdx := make([]int, 0, k)
-
-	drawNormalized := func(i int) float64 {
-		x := sampler.Draw(i)
-		z := est.DrawFractionEstimate(i, rng)
-		return x * z
+	// Each normalized draw needs auxiliary randomness for the membership
+	// indicator, so the batched native path does not apply; the driver
+	// loops the hook per block instead.
+	var lp *roundLoop
+	lp = newRoundLoop(u, rng, &opts, roundAlgo{
+		notifyPartials: true,
+		capNotify:      true,
+		drawOne: func(i int) float64 {
+			x := lp.sampler.Draw(i)
+			z := est.DrawFractionEstimate(i, rng)
+			return x * z
+		},
+		decide: func(lp *roundLoop) {
+			lp.settleIsolated()
+			lp.resolutionExit()
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
 	}
-	for i := 0; i < k; i++ {
-		estimates[i] = drawNormalized(i)
-		active[i] = true
-	}
-	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
-	numActive := k
-	m := 1
-
-	settle := func(i, round int) {
-		active[i] = false
-		settled[i] = round
-		numActive--
-		if opts.OnPartial != nil {
-			opts.OnPartial(i, estimates[i], round)
-		}
-	}
-
-	var eps float64
-	for numActive > 0 {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		eps = sched.EpsilonN(m, 0) / opts.HeuristicFactor
-		for i := 0; i < k; i++ {
-			if !active[i] {
-				continue
-			}
-			xz := drawNormalized(i)
-			estimates[i] = float64(m-1)/float64(m)*estimates[i] + xz/float64(m)
-		}
-		actIdx = activeIndices(active, actIdx)
-		isolatedEqualWidth(actIdx, estimates, eps, isolated)
-		for _, i := range actIdx {
-			if isolated[i] {
-				settle(i, m)
-			}
-		}
-		if opts.Resolution > 0 && eps < opts.Resolution/4 {
-			for _, i := range actIdx {
-				if active[i] {
-					settle(i, m)
-				}
-			}
-		}
-		if opts.Tracer != nil {
-			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
-			res.Capped = true
-			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m)
-				}
-			}
-		}
-	}
-
-	res.Rounds = m
-	res.FinalEpsilon = eps
-	res.TotalSamples = sampler.Total()
-	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
-	return res, nil
+	return lp.result(), nil
 }

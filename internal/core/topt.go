@@ -58,153 +58,87 @@ func TopT(u *dataset.Universe, rng *xrand.RNG, t int, opts Options) (*TopTResult
 	if t <= 0 || t > k {
 		return nil, fmt.Errorf("core: top-t requires 1 <= t <= k, got t=%d with k=%d", t, k)
 	}
-	sched := newSchedule(u, &opts)
-	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
-
-	estimates := make([]float64, k)
-	active := make([]bool, k)
-	settled := make([]int, k)
-	frozenEps := make([]float64, k)
 	membership := make([]Membership, k)
+	los := make([]float64, k)
+	his := make([]float64, k)
+	toSettle := make([]int, 0, k)
 
-	for i := 0; i < k; i++ {
-		estimates[i] = sampler.Draw(i)
-		active[i] = true
-	}
-	res := &TopTResult{
-		Result:     Result{Estimates: estimates, SettledRound: settled, Rounds: 1},
-		Membership: membership,
-	}
-	numActive := k
-	m := 1
-
-	width := func(i int, liveEps float64) float64 {
-		if active[i] {
-			return liveEps
-		}
-		return frozenEps[i]
-	}
-	settle := func(i, round int, eps float64) {
-		active[i] = false
-		settled[i] = round
-		frozenEps[i] = eps
-		numActive--
-		if opts.OnPartial != nil {
-			opts.OnPartial(i, estimates[i], round)
-		}
-	}
-
-	var eps float64
-	for numActive > 0 {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		var maxN int64
-		if !opts.WithReplacement {
-			maxN = maxActiveSize(u, active)
-		}
-		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
-
-		for i := 0; i < k; i++ {
-			if !active[i] {
-				continue
+	lp := newRoundLoop(u, rng, &opts, roundAlgo{
+		notifyPartials: true,
+		capNotify:      true,
+		decide: func(lp *roundLoop) {
+			// Classify membership from the current intervals.
+			// certainlyAbove counts groups whose entire interval lies above
+			// group i's interval; possiblyAbove counts groups that *might*
+			// lie above it.
+			for i := 0; i < k; i++ {
+				w := lp.width(i)
+				los[i], his[i] = lp.estimates[i]-w, lp.estimates[i]+w
 			}
-			if !opts.WithReplacement {
-				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
-					settle(i, m, 0)
+			for i := 0; i < k; i++ {
+				if membership[i] != MemberUnknown {
 					continue
 				}
-			}
-			x := sampler.Draw(i)
-			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
-		}
-
-		// Classify membership from the current intervals. certainlyAbove[i]
-		// counts groups whose entire interval lies above group i's interval;
-		// possiblyAbove[i] counts groups that *might* lie above it.
-		los := make([]float64, k)
-		his := make([]float64, k)
-		for i := 0; i < k; i++ {
-			w := width(i, eps)
-			los[i], his[i] = estimates[i]-w, estimates[i]+w
-		}
-		for i := 0; i < k; i++ {
-			if membership[i] != MemberUnknown {
-				continue
-			}
-			certainlyAbove, possiblyAbove := 0, 0
-			for j := 0; j < k; j++ {
-				if j == i {
-					continue
-				}
-				if los[j] > his[i] {
-					certainlyAbove++
-				}
-				if his[j] > los[i] {
-					possiblyAbove++
-				}
-			}
-			if certainlyAbove >= t {
-				membership[i] = MemberOut
-			} else if possiblyAbove <= t-1 {
-				membership[i] = MemberIn
-			}
-		}
-
-		// Settle: certain non-members stop immediately; certain members stop
-		// once their interval is disjoint from every other potential
-		// member's interval (their in-set rank is then fixed).
-		var toSettle []int
-		for i := 0; i < k; i++ {
-			if !active[i] {
-				continue
-			}
-			switch membership[i] {
-			case MemberOut:
-				toSettle = append(toSettle, i)
-			case MemberIn:
-				disjoint := true
+				certainlyAbove, possiblyAbove := 0, 0
 				for j := 0; j < k; j++ {
-					if j == i || membership[j] == MemberOut {
+					if j == i {
 						continue
 					}
-					if los[i] <= his[j] && los[j] <= his[i] {
-						disjoint = false
-						break
+					if los[j] > his[i] {
+						certainlyAbove++
+					}
+					if his[j] > los[i] {
+						possiblyAbove++
 					}
 				}
-				if disjoint {
+				if certainlyAbove >= t {
+					membership[i] = MemberOut
+				} else if possiblyAbove <= t-1 {
+					membership[i] = MemberIn
+				}
+			}
+
+			// Settle: certain non-members stop immediately; certain members
+			// stop once their interval is disjoint from every other
+			// potential member's interval (their in-set rank is then fixed).
+			toSettle = toSettle[:0]
+			for i := 0; i < k; i++ {
+				if !lp.active[i] {
+					continue
+				}
+				switch membership[i] {
+				case MemberOut:
 					toSettle = append(toSettle, i)
+				case MemberIn:
+					disjoint := true
+					for j := 0; j < k; j++ {
+						if j == i || membership[j] == MemberOut {
+							continue
+						}
+						if los[i] <= his[j] && los[j] <= his[i] {
+							disjoint = false
+							break
+						}
+					}
+					if disjoint {
+						toSettle = append(toSettle, i)
+					}
 				}
 			}
-		}
-		for _, i := range toSettle {
-			settle(i, m, eps)
-		}
-		if opts.Resolution > 0 && eps < opts.Resolution/4 {
-			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m, eps)
-				}
+			for _, i := range toSettle {
+				lp.settle(i, lp.eps, true)
 			}
-		}
-		if opts.Tracer != nil {
-			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
-			res.Capped = true
-			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m, eps)
-				}
-			}
-		}
+			lp.resolutionExit()
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
 	}
+	res := &TopTResult{Result: *lp.result(), Membership: membership}
 
 	// Any group still unclassified (possible under the resolution or cap
 	// exits) is assigned by final estimate.
-	rank := Ranking(estimates)
+	rank := Ranking(res.Estimates)
 	taken := 0
 	for _, i := range rank {
 		if taken < t && membership[i] != MemberOut {
@@ -221,10 +155,5 @@ func TopT(u *dataset.Universe, rng *xrand.RNG, t int, opts Options) (*TopTResult
 			res.Members = append(res.Members, i)
 		}
 	}
-
-	res.Rounds = m
-	res.FinalEpsilon = eps
-	res.TotalSamples = sampler.Total()
-	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
 	return res, nil
 }

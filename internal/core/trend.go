@@ -21,114 +21,47 @@ func Trend(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
 		return nil, err
 	}
 	k := u.K()
-	sched := newSchedule(u, &opts)
-	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
-
-	estimates := make([]float64, k)
-	active := make([]bool, k)
-	settled := make([]int, k)
-	// frozenEps[i] is the interval half-width at which group i settled; for
-	// active groups the shared live ε applies instead.
-	frozenEps := make([]float64, k)
-
-	for i := 0; i < k; i++ {
-		estimates[i] = sampler.Draw(i)
-		active[i] = true
-	}
-	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
-	numActive := k
-	m := 1
-
-	width := func(i int, liveEps float64) float64 {
-		if active[i] {
-			return liveEps
-		}
-		return frozenEps[i]
-	}
-	neighbourOverlap := func(i int, liveEps float64) bool {
-		wi := width(i, liveEps)
-		iv := interval{estimates[i] - wi, estimates[i] + wi}
-		for _, j := range [2]int{i - 1, i + 1} {
-			if j < 0 || j >= k {
-				continue
-			}
-			wj := width(j, liveEps)
-			if iv.overlaps(interval{estimates[j] - wj, estimates[j] + wj}) {
-				return true
-			}
-		}
-		return false
-	}
-	settle := func(i, round int, eps float64) {
-		active[i] = false
-		settled[i] = round
-		frozenEps[i] = eps
-		numActive--
-		if opts.OnPartial != nil {
-			opts.OnPartial(i, estimates[i], round)
-		}
-	}
-
-	var eps float64
-	for numActive > 0 {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		var maxN int64
-		if !opts.WithReplacement {
-			maxN = maxActiveSize(u, active)
-		}
-		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
-
-		for i := 0; i < k; i++ {
-			if !active[i] {
-				continue
-			}
-			if !opts.WithReplacement {
-				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
-					settle(i, m, 0)
-					continue
-				}
-			}
-			x := sampler.Draw(i)
-			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
-		}
-
-		// Snapshot the active flags so settle order within the round cannot
-		// change the outcome of the neighbour checks.
-		var toSettle []int
-		for i := 0; i < k; i++ {
-			if active[i] && !neighbourOverlap(i, eps) {
-				toSettle = append(toSettle, i)
-			}
-		}
-		for _, i := range toSettle {
-			settle(i, m, eps)
-		}
-		if opts.Resolution > 0 && eps < opts.Resolution/4 {
+	toSettle := make([]int, 0, k)
+	lp := newRoundLoop(u, rng, &opts, roundAlgo{
+		notifyPartials: true,
+		capNotify:      true,
+		decide: func(lp *roundLoop) {
+			// Snapshot the groups to settle before settling any, so settle
+			// order within the round cannot change the neighbour checks.
+			toSettle = toSettle[:0]
 			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m, eps)
+				line := [2]int{i - 1, i + 1}
+				if lp.active[i] && !neighbourOverlap(lp, i, line[:]) {
+					toSettle = append(toSettle, i)
 				}
 			}
-		}
-		if opts.Tracer != nil {
-			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
-			res.Capped = true
-			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m, eps)
-				}
+			for _, i := range toSettle {
+				lp.settle(i, lp.eps, true)
 			}
+			lp.resolutionExit()
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
+	}
+	return lp.result(), nil
+}
+
+// neighbourOverlap reports whether group i's interval overlaps any listed
+// neighbour's interval (frozen widths for settled neighbours, the live ε
+// for active ones). Out-of-range neighbour indices are skipped, so line
+// graphs can pass {i−1, i+1} unconditionally.
+func neighbourOverlap(lp *roundLoop, i int, neighbours []int) bool {
+	wi := lp.width(i)
+	iv := interval{lp.estimates[i] - wi, lp.estimates[i] + wi}
+	for _, j := range neighbours {
+		if j < 0 || j >= lp.k {
+			continue
+		}
+		wj := lp.width(j)
+		if iv.overlaps(interval{lp.estimates[j] - wj, lp.estimates[j] + wj}) {
+			return true
 		}
 	}
-
-	res.Rounds = m
-	res.FinalEpsilon = eps
-	res.TotalSamples = sampler.Total()
-	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
-	return res, nil
+	return false
 }

@@ -21,95 +21,23 @@ func WithValues(u *dataset.Universe, rng *xrand.RNG, d float64, opts Options) (*
 	if err := opts.validate(u); err != nil {
 		return nil, err
 	}
-	k := u.K()
-	sched := newSchedule(u, &opts)
-	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
-
-	estimates := make([]float64, k)
-	active := make([]bool, k)
-	settled := make([]int, k)
-	isolated := make([]bool, k)
-	actIdx := make([]int, 0, k)
-
-	for i := 0; i < k; i++ {
-		estimates[i] = sampler.Draw(i)
-		active[i] = true
-	}
-	res := &Result{Estimates: estimates, SettledRound: settled, Rounds: 1}
-	numActive := k
-	m := 1
-
-	settle := func(i, round int) {
-		active[i] = false
-		settled[i] = round
-		numActive--
-		if opts.OnPartial != nil {
-			opts.OnPartial(i, estimates[i], round)
-		}
-	}
-
-	var eps float64
-	for numActive > 0 {
-		if err := opts.interrupted(); err != nil {
-			return nil, err
-		}
-		m++
-		var maxN int64
-		if !opts.WithReplacement {
-			maxN = maxActiveSize(u, active)
-		}
-		eps = sched.EpsilonN(m, maxN) / opts.HeuristicFactor
-
-		for i := 0; i < k; i++ {
-			if !active[i] {
-				continue
+	lp := newRoundLoop(u, rng, &opts, roundAlgo{
+		notifyPartials: true,
+		capNotify:      true,
+		decide: func(lp *roundLoop) {
+			// A group settles only when isolated AND its interval is tight
+			// enough to certify the value bound (ε ≤ d/2 ⇒ |ν−µ| ≤ d/2 ≤ d).
+			if lp.eps > d/2 {
+				return
 			}
-			if !opts.WithReplacement {
-				if n := u.Groups[i].Size(); n > 0 && int64(m) > n {
-					settle(i, m)
-					continue
-				}
-			}
-			x := sampler.Draw(i)
-			estimates[i] = float64(m-1)/float64(m)*estimates[i] + x/float64(m)
-		}
-
-		// A group settles only when isolated AND its interval is tight
-		// enough to certify the value bound (ε ≤ d/2 ⇒ |ν−µ| ≤ d/2 ≤ d).
-		if eps <= d/2 {
-			actIdx = activeIndices(active, actIdx)
-			isolatedEqualWidth(actIdx, estimates, eps, isolated)
-			for _, i := range actIdx {
-				if isolated[i] {
-					settle(i, m)
-				}
-			}
+			lp.settleIsolated()
 			// Resolution relaxation still applies to the ordering half of
 			// the guarantee; the value half is already certified here.
-			if opts.Resolution > 0 && eps < opts.Resolution/4 {
-				for _, i := range actIdx {
-					if active[i] {
-						settle(i, m)
-					}
-				}
-			}
-		}
-		if opts.Tracer != nil {
-			opts.Tracer.OnRound(m, eps, active, estimates, sampler.Total())
-		}
-		if opts.MaxRounds > 0 && m >= opts.MaxRounds && numActive > 0 {
-			res.Capped = true
-			for i := 0; i < k; i++ {
-				if active[i] {
-					settle(i, m)
-				}
-			}
-		}
+			lp.resolutionExit()
+		},
+	})
+	if err := lp.run(); err != nil {
+		return nil, err
 	}
-
-	res.Rounds = m
-	res.FinalEpsilon = eps
-	res.TotalSamples = sampler.Total()
-	res.SampleCounts = append([]int64(nil), sampler.Counts()...)
-	return res, nil
+	return lp.result(), nil
 }

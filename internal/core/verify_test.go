@@ -181,9 +181,25 @@ func TestIntervalOverlap(t *testing.T) {
 	}
 }
 
+// bruteForceIsolated is the O(n²) pairwise reference both sweeps are
+// checked against.
+func bruteForceIsolated(ivs []interval, isolated []bool) {
+	for i, a := range ivs {
+		ok := true
+		for j, b := range ivs {
+			if i != j && a.overlaps(b) {
+				ok = false
+				break
+			}
+		}
+		isolated[i] = ok
+	}
+}
+
 func TestIsolatedEqualWidthMatchesGeneral(t *testing.T) {
-	// Property: the O(n log n) sweep agrees with the general pairwise
-	// check when all widths are equal.
+	// Property: the equal-width sorted-neighbour sweep, the general
+	// sort-by-lo sweep, and the brute-force pairwise check all agree when
+	// widths are equal.
 	check := func(raw []uint8, epsRaw uint8) bool {
 		if len(raw) < 2 || len(raw) > 12 {
 			return true
@@ -199,20 +215,54 @@ func TestIsolatedEqualWidthMatchesGeneral(t *testing.T) {
 		}
 		fast := make([]bool, len(est))
 		isolatedEqualWidth(idx, est, eps, fast)
-		ivs := map[int]interval{}
+		ivs := make([]interval, len(est))
 		for i, e := range est {
 			ivs[i] = interval{e - eps, e + eps}
 		}
 		slow := make([]bool, len(est))
 		isolatedGeneral(ivs, slow)
+		brute := make([]bool, len(est))
+		bruteForceIsolated(ivs, brute)
 		for i := range fast {
-			if fast[i] != slow[i] {
+			if fast[i] != slow[i] || slow[i] != brute[i] {
 				return false
 			}
 		}
 		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsolatedGeneralMatchesBruteForce(t *testing.T) {
+	// Property: the O(k log k) sort-by-lo sweep agrees with the pairwise
+	// check on intervals of arbitrary unequal widths, ties included.
+	check := func(rawLo, rawW []uint8) bool {
+		n := len(rawLo)
+		if len(rawW) < n {
+			n = len(rawW)
+		}
+		if n < 2 || n > 12 {
+			return true
+		}
+		ivs := make([]interval, n)
+		for i := 0; i < n; i++ {
+			lo := float64(rawLo[i] % 50)
+			ivs[i] = interval{lo, lo + float64(rawW[i]%20)}
+		}
+		fast := make([]bool, n)
+		isolatedGeneral(ivs, fast)
+		brute := make([]bool, n)
+		bruteForceIsolated(ivs, brute)
+		for i := range fast {
+			if fast[i] != brute[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
 	}
 }

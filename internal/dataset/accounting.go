@@ -11,6 +11,11 @@ import "repro/internal/xrand"
 // with-replacement, which can only happen if an algorithm requests more
 // samples than the group holds — the accountant records this in Exhausted
 // so experiments can report it.
+//
+// Draws come in two granularities: Draw takes one sample, DrawBatch fills
+// a block with one dispatch. Both produce the same stream for the same
+// total number of samples, so algorithms can batch freely without changing
+// their statistics.
 type Sampler struct {
 	u       *Universe
 	rng     *xrand.RNG
@@ -23,8 +28,22 @@ type Sampler struct {
 
 // NewSampler returns a sampler over u. If withoutReplacement is true,
 // groups implementing WithoutReplacementGroup are consumed without
-// replacement.
+// replacement — starting from a fresh permutation: any draw state left on
+// the groups by a previous run is reset, so reusing one Universe across
+// consecutive runs cannot silently continue (or exhaust) an earlier run's
+// permutation.
+//
+// Draw state lives on the groups, and groups are not safe for concurrent
+// use: concurrent runs must not share materialized groups (build one set
+// per run, or per goroutine). Consecutive reuse is fine.
 func NewSampler(u *Universe, rng *xrand.RNG, withoutReplacement bool) *Sampler {
+	if withoutReplacement {
+		for _, g := range u.Groups {
+			if wg, ok := g.(WithoutReplacementGroup); ok {
+				wg.ResetDraws()
+			}
+		}
+	}
 	return &Sampler{
 		u:         u,
 		rng:       rng,
@@ -48,6 +67,61 @@ func (s *Sampler) Draw(i int) float64 {
 		}
 	}
 	return g.Draw(s.rng)
+}
+
+// DrawBatch fills dst with samples from group i and records them. One call
+// costs one interface dispatch and one accounting update for the whole
+// block, and produces exactly the stream len(dst) successive Draw calls
+// would — including the fall-back to with-replacement sampling if the
+// group's population runs out mid-block.
+func (s *Sampler) DrawBatch(i int, dst []float64) {
+	if len(dst) == 0 {
+		return
+	}
+	g := s.u.Groups[i]
+	s.counts[i] += int64(len(dst))
+	s.total += int64(len(dst))
+	if s.without {
+		switch wg := g.(type) {
+		case BatchWithoutReplacementGroup:
+			taken := wg.DrawBatchWithoutReplacement(s.rng, dst)
+			if taken == len(dst) {
+				return
+			}
+			s.exhausted[i] = true
+			dst = dst[taken:]
+		case WithoutReplacementGroup:
+			taken := 0
+			for taken < len(dst) {
+				v, ok := wg.DrawWithoutReplacement(s.rng)
+				if !ok {
+					s.exhausted[i] = true
+					break
+				}
+				dst[taken] = v
+				taken++
+			}
+			if taken == len(dst) {
+				return
+			}
+			dst = dst[taken:]
+		}
+	}
+	if bg, ok := g.(BatchGroup); ok {
+		bg.DrawBatch(s.rng, dst)
+		return
+	}
+	for j := range dst {
+		dst[j] = g.Draw(s.rng)
+	}
+}
+
+// Record accounts n samples that were drawn outside the sampler's Group
+// interface (pair draws, normalized draws with auxiliary randomness), so
+// Counts and Total stay exact for algorithms with custom draw paths.
+func (s *Sampler) Record(i int, n int) {
+	s.counts[i] += int64(n)
+	s.total += int64(n)
 }
 
 // Counts returns the per-group sample counts m_i. The returned slice is

@@ -48,6 +48,27 @@ type WithoutReplacementGroup interface {
 	ResetDraws()
 }
 
+// BatchGroup is implemented by groups that can fill a whole block of
+// with-replacement samples in one call, amortizing dispatch, bounds
+// checks, and accounting over the block. DrawBatch must produce exactly
+// the stream that len(dst) successive Draw calls would.
+type BatchGroup interface {
+	Group
+	// DrawBatch fills dst with uniform random elements (with replacement).
+	DrawBatch(r *xrand.RNG, dst []float64)
+}
+
+// BatchWithoutReplacementGroup is the block counterpart of
+// WithoutReplacementGroup. The produced stream must be identical to the
+// same number of successive DrawWithoutReplacement calls.
+type BatchWithoutReplacementGroup interface {
+	WithoutReplacementGroup
+	// DrawBatchWithoutReplacement fills a prefix of dst with the next
+	// elements of the random permutation and returns how many elements it
+	// produced — fewer than len(dst) only when the group is exhausted.
+	DrawBatchWithoutReplacement(r *xrand.RNG, dst []float64) int
+}
+
 // Scannable is implemented by groups whose full contents can be visited,
 // enabling the SCAN baseline.
 type Scannable interface {
@@ -99,18 +120,22 @@ func (g *SliceGroup) Draw(r *xrand.RNG) float64 {
 	return g.values[r.Intn(len(g.values))]
 }
 
+// DrawBatch fills dst with uniform with-replacement samples in one call.
+func (g *SliceGroup) DrawBatch(r *xrand.RNG, dst []float64) {
+	vals := g.values
+	n := len(vals)
+	for i := range dst {
+		dst[i] = vals[r.Intn(n)]
+	}
+}
+
 // DrawWithoutReplacement returns the next element of a uniform random
 // permutation, building the permutation lazily.
 func (g *SliceGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
 	if g.next >= len(g.values) {
 		return 0, false
 	}
-	if g.perm == nil {
-		g.perm = make([]int32, len(g.values))
-		for i := range g.perm {
-			g.perm[i] = int32(i)
-		}
-	}
+	g.ensurePerm()
 	// Fisher–Yates step: choose the next element uniformly from the
 	// unconsumed suffix [next, n).
 	j := g.next + r.Intn(len(g.values)-g.next)
@@ -120,8 +145,43 @@ func (g *SliceGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
 	return v, true
 }
 
-// ResetDraws restarts without-replacement sampling.
-func (g *SliceGroup) ResetDraws() { g.next = 0; g.perm = nil }
+// DrawBatchWithoutReplacement consumes up to len(dst) further permutation
+// elements in one tight Fisher–Yates loop, returning how many it produced.
+func (g *SliceGroup) DrawBatchWithoutReplacement(r *xrand.RNG, dst []float64) int {
+	n := len(g.values)
+	if g.next >= n {
+		return 0
+	}
+	g.ensurePerm()
+	perm, vals := g.perm, g.values
+	taken := 0
+	for taken < len(dst) && g.next < n {
+		j := g.next + r.Intn(n-g.next)
+		perm[g.next], perm[j] = perm[j], perm[g.next]
+		dst[taken] = vals[perm[g.next]]
+		g.next++
+		taken++
+	}
+	return taken
+}
+
+// ensurePerm lazily builds the identity permutation the Fisher–Yates
+// suffix consumption shuffles in place.
+func (g *SliceGroup) ensurePerm() {
+	if g.perm == nil {
+		g.perm = make([]int32, len(g.values))
+		for i := range g.perm {
+			g.perm[i] = int32(i)
+		}
+	}
+}
+
+// ResetDraws restarts without-replacement sampling. The permutation array
+// is kept: restarting the Fisher–Yates suffix consumption from position 0
+// over any arrangement yields a fresh uniform permutation, so the reset is
+// O(1) rather than O(n). The new run's sample stream is therefore uniform
+// but not a replay of the previous run's.
+func (g *SliceGroup) ResetDraws() { g.next = 0 }
 
 // Scan visits every value.
 func (g *SliceGroup) Scan(fn func(v float64)) int64 {
@@ -166,6 +226,12 @@ func (g *DistGroup) TrueMean() float64 { return g.dist.Mean() }
 
 // Draw samples from the backing distribution.
 func (g *DistGroup) Draw(r *xrand.RNG) float64 { return g.dist.Sample(r) }
+
+// DrawBatch fills dst through the distribution's bulk sampler, paying one
+// dispatch per block instead of one per sample.
+func (g *DistGroup) DrawBatch(r *xrand.RNG, dst []float64) {
+	xrand.SampleInto(g.dist, r, dst)
+}
 
 // Dist returns the backing distribution.
 func (g *DistGroup) Dist() xrand.Dist { return g.dist }

@@ -1,0 +1,202 @@
+// Columnar (group, value) storage. A Table packs every group's values
+// contiguously into one dense column so the batched draw path runs over
+// cache-friendly memory, and carries the GroupBy bookkeeping (first-seen
+// group order, offsets, value range) that ingestion from raw rows or CSV
+// needs. Tables are the bridge between real workloads — log lines, query
+// results, CSV exports — and the sampling algorithms, which consume them
+// as zero-copy SliceGroup views over column segments.
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Row is one raw record of a GROUP BY ingestion: a group label and the
+// value the query aggregates.
+type Row struct {
+	Group string
+	Value float64
+}
+
+// Table is a columnar (group, value) store: the values of group i occupy
+// col[offsets[i]:offsets[i+1]], groups ordered by first appearance in the
+// ingested rows. Construct with a TableBuilder, BuildTable, or ReadCSV.
+type Table struct {
+	names   []string
+	col     []float64
+	offsets []int
+	groups  []Group
+	minV    float64
+	maxV    float64
+}
+
+// K returns the number of distinct groups.
+func (t *Table) K() int { return len(t.names) }
+
+// NumRows returns the total number of ingested rows.
+func (t *Table) NumRows() int { return len(t.col) }
+
+// Names returns the group labels in first-seen order. The slice is owned
+// by the table.
+func (t *Table) Names() []string { return t.names }
+
+// Column returns group i's packed values. The slice aliases the table's
+// column storage; callers must not mutate it.
+func (t *Table) Column(i int) []float64 {
+	return t.col[t.offsets[i]:t.offsets[i+1]]
+}
+
+// MinValue and MaxValue bound the ingested values (both 0 for an empty
+// table, which builders reject anyway).
+func (t *Table) MinValue() float64 { return t.minV }
+
+// MaxValue returns the largest ingested value.
+func (t *Table) MaxValue() float64 { return t.maxV }
+
+// Groups returns one sampling group per distinct label, in first-seen
+// order. The groups are zero-copy views over the table's column and are
+// built once; repeated calls return the same slice.
+func (t *Table) Groups() []Group { return t.groups }
+
+// Universe wraps the table's groups with the value bound c. c == 0 infers
+// the bound from the ingested maximum (1 when all values are zero, so the
+// bound stays positive). Negative values are rejected at build time, so a
+// built table always yields a valid universe.
+func (t *Table) Universe(c float64) (*Universe, error) {
+	if c < 0 {
+		return nil, fmt.Errorf("dataset: table bound must be non-negative, got %v", c)
+	}
+	if c == 0 {
+		c = t.maxV
+		if c == 0 {
+			c = 1
+		}
+	} else if t.maxV > c {
+		return nil, fmt.Errorf("dataset: table holds value %v above the declared bound %v", t.maxV, c)
+	}
+	return NewUniverse(c, t.groups...), nil
+}
+
+// TableBuilder accumulates raw (group, value) rows and groups them into a
+// columnar Table on Build. The zero value is not usable; construct with
+// NewTableBuilder.
+type TableBuilder struct {
+	index map[string]int
+	names []string
+	cols  [][]float64
+	rows  int
+	minV  float64
+	maxV  float64
+	neg   bool
+	negV  float64
+}
+
+// NewTableBuilder returns an empty builder.
+func NewTableBuilder() *TableBuilder {
+	return &TableBuilder{index: map[string]int{}}
+}
+
+// Add ingests one raw row.
+func (b *TableBuilder) Add(group string, value float64) {
+	i, ok := b.index[group]
+	if !ok {
+		i = len(b.names)
+		b.index[group] = i
+		b.names = append(b.names, group)
+		b.cols = append(b.cols, nil)
+	}
+	b.cols[i] = append(b.cols[i], value)
+	if b.rows == 0 || value < b.minV {
+		b.minV = value
+	}
+	if b.rows == 0 || value > b.maxV {
+		b.maxV = value
+	}
+	if value < 0 && !b.neg {
+		b.neg = true
+		b.negV = value
+	}
+	b.rows++
+}
+
+// Len returns the number of rows ingested so far.
+func (b *TableBuilder) Len() int { return b.rows }
+
+// Build packs the accumulated rows into a Table. The per-group staging
+// slices are released; the builder can be reused afterwards (it restarts
+// empty). Negative values are rejected because every algorithm requires
+// values in [0, c].
+func (b *TableBuilder) Build() (*Table, error) {
+	if b.rows == 0 {
+		return nil, fmt.Errorf("dataset: table has no rows")
+	}
+	if b.neg {
+		return nil, fmt.Errorf("dataset: table holds negative value %v; shift values into [0, c]", b.negV)
+	}
+	t := &Table{
+		names:   b.names,
+		col:     make([]float64, 0, b.rows),
+		offsets: make([]int, 1, len(b.names)+1),
+		minV:    b.minV,
+		maxV:    b.maxV,
+	}
+	for _, col := range b.cols {
+		t.col = append(t.col, col...)
+		t.offsets = append(t.offsets, len(t.col))
+	}
+	t.groups = make([]Group, t.K())
+	for i, name := range t.names {
+		t.groups[i] = NewSliceGroup(name, t.Column(i))
+	}
+	*b = *NewTableBuilder()
+	return t, nil
+}
+
+// BuildTable groups raw rows by label (first-seen order) into a columnar
+// Table — the one-call ingestion path for in-memory row sets.
+func BuildTable(rows []Row) (*Table, error) {
+	b := NewTableBuilder()
+	for _, row := range rows {
+		b.Add(row.Group, row.Value)
+	}
+	return b.Build()
+}
+
+// ReadCSV ingests group,value records from r into a Table. The first
+// column is the group label and the second the numeric value; extra
+// columns are ignored. A header row is skipped automatically when its
+// value column does not parse as a number. Records may vary in width but
+// need at least two fields.
+func ReadCSV(r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.TrimLeadingSpace = true
+	b := NewTableBuilder()
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv: %w", err)
+		}
+		line++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("dataset: csv record %d has %d fields, want group,value", line, len(rec))
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+		if err != nil {
+			if line == 1 {
+				continue // header
+			}
+			return nil, fmt.Errorf("dataset: csv record %d: bad value %q", line, rec[1])
+		}
+		b.Add(strings.TrimSpace(rec[0]), v)
+	}
+	return b.Build()
+}

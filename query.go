@@ -135,6 +135,22 @@ type Query struct {
 	// sizes then need not be exact. Forced on for func-backed groups.
 	WithReplacement bool
 
+	// BatchSize is the number of fresh samples drawn from each contentious
+	// group per sampling round. 0 and 1 both select the paper's
+	// one-sample-per-round schedule (bit-for-bit identical results);
+	// larger blocks — 64 and up — amortize per-draw dispatch and
+	// bookkeeping over dense block draws for a several-fold throughput
+	// gain on large groups, at the cost of up to BatchSize−1 extra samples
+	// per group. The confidence schedule is indexed by cumulative draws,
+	// so the ordering guarantee is unaffected.
+	BatchSize int
+	// RoundGrowth, when above 1, grows the per-round block geometrically
+	// (a group holding c samples draws about (RoundGrowth−1)·c fresh ones
+	// next round), bounding bookkeeping to O(log) rounds in the total
+	// samples. 0 and 1 keep blocks fixed at BatchSize; values in (0, 1)
+	// are invalid.
+	RoundGrowth float64
+
 	// Seed seeds the query's random stream. With Deterministic false
 	// (default), zero selects the engine's default seed; any other value
 	// is used as given. With Deterministic true, Seed is used exactly as

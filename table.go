@@ -1,0 +1,63 @@
+package rapidviz
+
+import (
+	"io"
+	"os"
+
+	"repro/internal/dataset"
+)
+
+// Row is one raw record of a GROUP BY ingestion: a group label and the
+// value the query aggregates.
+type Row = dataset.Row
+
+// Table is a columnar (group, value) store produced by ingestion. Every
+// group's values are packed contiguously, so the engine's batched sampling
+// runs over dense memory; Groups() returns the zero-copy sampling groups
+// ready to pass to Engine.Run or Engine.Stream.
+type Table = dataset.Table
+
+// TableBuilder accumulates raw rows incrementally (streaming ingestion)
+// and groups them into a Table on Build. Construct with NewTableBuilder.
+type TableBuilder = dataset.TableBuilder
+
+// NewTableBuilder returns an empty streaming ingestion builder.
+func NewTableBuilder() *TableBuilder { return dataset.NewTableBuilder() }
+
+// NewTableUniverse ingests raw (group, value) rows into a columnar table,
+// grouping them by label in first-seen order. It is the one-call path from
+// a real workload — query results, log records — to a universe of sampling
+// groups:
+//
+//	table, err := rapidviz.NewTableUniverse(rows)
+//	// handle err ...
+//	q := rapidviz.Query{BatchSize: 64, Bound: table.MaxValue()}
+//	res, err := engine.Run(ctx, q, table.Groups())
+//
+// Pass Bound: table.MaxValue() — the builder tracked the value range
+// during ingestion, so a query with no Bound would rescan every column to
+// re-infer it on each run.
+//
+// Values must be non-negative (every algorithm requires values in [0, c]);
+// shift or clamp before ingesting otherwise.
+func NewTableUniverse(rows []Row) (*Table, error) {
+	return dataset.BuildTable(rows)
+}
+
+// TableFromCSV ingests group,value records from r. The first column is the
+// group label and the second the numeric value (extra columns are
+// ignored); a header row is skipped automatically when its value column
+// does not parse as a number.
+func TableFromCSV(r io.Reader) (*Table, error) {
+	return dataset.ReadCSV(r)
+}
+
+// TableFromCSVFile ingests a CSV file by path.
+func TableFromCSVFile(path string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadCSV(f)
+}
