@@ -32,6 +32,7 @@ func main() {
 		sizes   = flag.String("sizes", "", "override size sweep, comma-separated (e.g. 1e6,1e7)")
 		seed    = flag.Uint64("seed", 0, "override base seed")
 		base    = flag.Int64("base", 0, "override base dataset rows")
+		workers = flag.Int("workers", 0, "goroutines drawing per-group blocks each sampling round (0/1 = sequential; identical results at any value)")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	)
 	flag.Parse()
@@ -55,6 +56,9 @@ func main() {
 	}
 	if *base > 0 {
 		s.BaseRows = *base
+	}
+	if *workers > 0 {
+		s.Workers = *workers
 	}
 	if *sizes != "" {
 		s.Sizes = nil

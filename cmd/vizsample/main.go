@@ -5,16 +5,18 @@
 // Usage:
 //
 //	vizsample -csv data.csv [-delta 0.05] [-resolution 0] [-algo ifocus]
-//	          [-agg avg] [-batch 64] [-timeout 30s] [-stream]
+//	          [-agg avg] [-batch 64] [-workers 0] [-timeout 30s] [-stream]
 //	vizsample -demo              # run on a built-in synthetic dataset
 //
 // -algo selects the sampling strategy (ifocus | irefine | roundrobin |
 // scan | noindex), -agg the aggregate (avg | sum | count), -batch the
 // number of samples drawn per contentious group per round (1 = the
 // paper-exact scalar schedule; larger blocks trade a few extra samples for
-// a several-fold throughput gain), -growth an optional geometric block
-// growth factor, -timeout bounds the run via context cancellation, and
-// -stream prints each group the moment its estimate settles.
+// a several-fold throughput gain), -workers the goroutines fanning out
+// each round's per-group draws (0 = all idle engine workers; results are
+// identical for every value), -growth an optional geometric block growth
+// factor, -timeout bounds the run via context cancellation, and -stream
+// prints each group the moment its estimate settles.
 //
 // The CSV is ingested into a columnar table: the first column is the group
 // label and the second the numeric value; a header row is detected and
@@ -41,6 +43,7 @@ func main() {
 		agg        = flag.String("agg", "avg", "avg | sum | count")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		batch      = flag.Int("batch", 0, "samples per contentious group per round (0/1 = paper-exact scalar rounds)")
+		workers    = flag.Int("workers", 0, "goroutines drawing per-group blocks each round (0 = all idle engine workers; identical results at any value)")
 		growth     = flag.Float64("growth", 0, "geometric per-round block growth factor (0/1 = fixed blocks)")
 		timeout    = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 		maxDraws   = flag.Int64("maxdraws", 0, "cap total draws for -algo noindex (0 = unlimited; the cap voids the guarantee)")
@@ -78,6 +81,7 @@ func main() {
 		MaxDraws:    *maxDraws,
 		BatchSize:   *batch,
 		RoundGrowth: *growth,
+		Workers:     *workers,
 	}
 	switch *algo {
 	case "ifocus":

@@ -17,6 +17,12 @@ import (
 // Query.Deterministic with an explicit seed) for independent runs.
 const defaultSeed uint64 = 0x5eedf00d
 
+// autoParallelMinBatch is the smallest BatchSize at which a query with no
+// explicit Workers automatically fans its rounds across the pool: dense
+// blocks amortize the per-round fan-out dispatch, one-sample rounds do
+// not.
+const autoParallelMinBatch = 64
+
 // EngineConfig holds an Engine's validated defaults. The zero value is
 // usable: δ=0.05, bound inferred per query, seed 0x5eedf00d, and one
 // worker per CPU.
@@ -41,13 +47,16 @@ type EngineConfig struct {
 	Seed uint64
 	// MaxRounds is the default round cap. Zero means uncapped.
 	MaxRounds int
-	// Workers bounds the engine's total concurrency: at most Workers
+	// Workers bounds the engine's admission concurrency: at most Workers
 	// queries execute at once (further Run calls wait for a slot,
-	// honoring their context), and per-group work with no sampling-order
-	// dependence — bound inference and exact scans — fans out only over
-	// worker slots that are currently idle, so queries plus fan-out never
-	// exceed Workers goroutines in total. Zero means
-	// runtime.GOMAXPROCS(0).
+	// honoring their context). Intra-query fan-out sizes itself to the
+	// pool too: short-lived per-group work — bound inference, exact
+	// scans — reserves the currently idle slots for its duration, and
+	// each sampling query's round fan-out is sized to the idle capacity
+	// at the moment it starts (advisory, so long queries never hoard
+	// slots; traffic arriving mid-query may transiently oversubscribe).
+	// An explicit Query.Workers overrides the sizing entirely. Zero
+	// means runtime.GOMAXPROCS(0).
 	Workers int
 }
 
@@ -183,12 +192,31 @@ func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial fun
 	if onPartial != nil {
 		spec.Opts.OnPartial = onPartial
 	}
-	if q.Algorithm == AlgoScan {
-		// Exact scans are the one core path that fans out; hold the
-		// borrowed slots only for the scan's duration.
+	// Intra-query fan-out. An explicit Query.Workers is used verbatim (the
+	// user asked for exactly that parallelism). Otherwise exact scans —
+	// short-lived — reserve the currently idle slots for their duration,
+	// while sampling queries size their round fan-out to the idle capacity
+	// *without* reserving it: a long query must not hoard slots, or a
+	// staggered second query would block until the first finishes instead
+	// of starting immediately. The trade is that traffic arriving mid-query
+	// can transiently oversubscribe Workers goroutines until the earlier
+	// query's rounds finish; the Go scheduler absorbs this, and results are
+	// unaffected either way (worker invariance).
+	switch {
+	case q.Workers > 0:
+		spec.Workers = q.Workers
+	case q.Algorithm == AlgoScan:
 		workers, release := e.borrowWorkers()
 		spec.Workers = workers
 		defer release()
+	case q.BatchSize >= autoParallelMinBatch || q.RoundGrowth > 1:
+		// Auto fan-out only pays for dense rounds: at the scalar schedule
+		// the per-round pool dispatch dwarfs the one-sample draws it
+		// would parallelize (measured several-fold slower), so BatchSize
+		// below the threshold keeps the inline path unless the query
+		// explicitly asks for workers. RoundGrowth qualifies because its
+		// blocks grow dense within a few rounds regardless of BatchSize.
+		spec.Workers = e.idleWorkers()
 	}
 	rr, err := core.Run(ctx, u, rng, spec)
 	if err != nil {
@@ -197,11 +225,22 @@ func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial fun
 	return e.result(groups, rr), nil
 }
 
+// idleWorkers returns the parallelism currently available to a query —
+// its own slot plus the instantaneous number of idle slots — without
+// reserving anything. Used to size the sampling driver's round fan-out:
+// advisory, so a lone query spreads over the whole pool while later
+// arrivals still get admitted immediately.
+func (e *Engine) idleWorkers() int {
+	return 1 + cap(e.sem) - len(e.sem)
+}
+
 // borrowWorkers reserves however many worker slots are currently idle (at
 // most Workers−1, never blocking) for intra-query fan-out, and returns the
 // total parallelism available to the caller — its own slot plus the
 // borrowed ones — with a release function. Charging fan-out against the
-// same semaphore keeps queries plus fan-out at or below Workers in total.
+// same semaphore keeps queries plus fan-out at or below Workers in total;
+// use it only around short-lived work (scans, bound inference), since
+// held slots keep other queries queued.
 func (e *Engine) borrowWorkers() (int, func()) {
 	extra := 0
 	for extra < e.cfg.Workers-1 {
@@ -271,6 +310,9 @@ func (e *Engine) normalize(q Query, groups []Group) (Query, error) {
 	}
 	if q.MaxDraws < 0 {
 		return q, fmt.Errorf("rapidviz: MaxDraws must be non-negative, got %d", q.MaxDraws)
+	}
+	if q.Workers < 0 {
+		return q, fmt.Errorf("rapidviz: Workers must be non-negative, got %d", q.Workers)
 	}
 	if q.BatchSize < 0 {
 		return q, fmt.Errorf("rapidviz: BatchSize must be non-negative, got %d", q.BatchSize)

@@ -2,9 +2,11 @@
 // dashboard would, all through one reusable Engine: a top-5 leaderboard
 // over many groups (Problem 4), a trend line whose guarantee covers
 // adjacent points only (Problem 3), a value-accurate chart (Problem 6),
-// and a fast mode that accepts mistakes on a small fraction of
-// comparisons (Problem 5). Every panel is one Query against the same
-// engine — no per-operator entry points.
+// a fast mode that accepts mistakes on a small fraction of comparisons
+// (Problem 5), and finally the serving shape a real dashboard has: many
+// panels refreshing concurrently against one shared ingested table, each
+// query taking its own zero-copy view. Every panel is one Query against
+// the same engine — no per-operator entry points.
 //
 //	go run ./examples/dashboard
 package main
@@ -16,6 +18,7 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 
 	"repro"
 )
@@ -89,6 +92,54 @@ func main() {
 	fmt.Printf("\nallowing mistakes on 10%% of pairs: %d samples vs %d strict (%.1fx fewer)\n",
 		fast.TotalSamples, strict.TotalSamples,
 		float64(strict.TotalSamples)/float64(fast.TotalSamples))
+
+	// --- Concurrent panels over one shared table -----------------------
+	// Ingest once, serve many: the table's packed columns are shared by
+	// every panel, but each concurrent query samples its own View — views
+	// carry independent without-replacement draw state, so one Engine can
+	// refresh all panels in parallel. Fixed seeds keep each panel's answer
+	// reproducible no matter how the queries interleave.
+	var rows []rapidviz.Row
+	for i := 0; i < 16; i++ {
+		mean := 25 + 50*rng.Float64()
+		name := fmt.Sprintf("region-%02d", i)
+		for j := 0; j < 30_000; j++ {
+			v := mean + rng.NormFloat64()*12
+			rows = append(rows, rapidviz.Row{Group: name, Value: math.Min(100, math.Max(0, v))})
+		}
+	}
+	table, err := rapidviz.NewTableUniverse(rows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	panels := []struct {
+		name string
+		q    rapidviz.Query
+	}{
+		{"leaderboard", rapidviz.Query{Guarantee: rapidviz.GuaranteeTopT, T: 3, Seed: 21}},
+		{"full order", rapidviz.Query{Seed: 22, BatchSize: 64}},
+		{"fast refresh", rapidviz.Query{Guarantee: rapidviz.GuaranteeMistakes, CorrectPairs: 0.9, Seed: 23}},
+		{"trend", rapidviz.Query{Guarantee: rapidviz.GuaranteeTrend, Seed: 24}},
+	}
+	results := make([]*rapidviz.Result, len(panels))
+	errs := make([]error, len(panels))
+	var wg sync.WaitGroup
+	for i, p := range panels {
+		wg.Add(1)
+		go func(i int, q rapidviz.Query) {
+			defer wg.Done()
+			q.Bound = table.MaxValue()
+			results[i], errs[i] = eng.Run(ctx, q, table.View())
+		}(i, p.q)
+	}
+	wg.Wait()
+	fmt.Printf("\n%d concurrent panels over one %d-row table:\n", len(panels), table.NumRows())
+	for i, p := range panels {
+		if errs[i] != nil {
+			log.Fatal(errs[i])
+		}
+		fmt.Printf("  %-12s %6d samples, %4d rounds\n", p.name, results[i].TotalSamples, results[i].Rounds)
+	}
 }
 
 // synthGroup builds a materialized group of n clipped-normal values.

@@ -75,6 +75,14 @@ type Options struct {
 	// O(log) times in the total sample count. 0 and 1 keep blocks fixed at
 	// BatchSize. Values in (0, 1) are invalid.
 	RoundGrowth float64
+	// Workers fans each round's per-group block draws across a pool of
+	// goroutines. Results are bit-for-bit identical for every value —
+	// each group's randomness is its own seed-derived stream, and all
+	// cross-group decisions run after the draw barrier in deterministic
+	// group order — so Workers is purely a throughput knob, best combined
+	// with BatchSize ≥ 64 so each parallel task is a dense block. 0 and 1
+	// draw inline on the calling goroutine. Negative values are invalid.
+	Workers int
 	// Tracer, when non-nil, observes every round (used by the convergence
 	// experiments behind Figures 5(c) and 6(a)).
 	Tracer Tracer
@@ -139,6 +147,9 @@ func (o *Options) validate(u *dataset.Universe) error {
 	}
 	if o.BatchSize < 0 {
 		return fmt.Errorf("core: batch size must be non-negative, got %d", o.BatchSize)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: workers must be non-negative, got %d", o.Workers)
 	}
 	// !(x >= 1) rather than x < 1 so NaN is rejected too; +Inf would
 	// silently overflow the block computation, so it is equally invalid.

@@ -30,6 +30,18 @@ import (
 // ε by the cumulative draw count keeps the union bound intact at any block
 // size; batching only trades bookkeeping frequency for up to one block of
 // extra samples per group.
+//
+// Parallelism: every group owns a deterministic RNG stream derived from
+// the run seed and its index (dataset.NewStreamSampler), so a group's
+// draws are a pure function of (seed, index, samples taken) and never of
+// the order groups are visited. The draw phase of each round can therefore
+// fan the per-group block draws across Options.Workers goroutines — the
+// paper's guarantees are per group, so draws are independent — while every
+// decision that touches cross-group state (settling, the isolation sweep,
+// partial-result events) runs after the draw barrier, in deterministic
+// group order, exactly as in the sequential loop. Workers=1 and Workers=N
+// produce bit-identical results; the invariant is pinned by
+// TestWorkerInvariance.
 
 // roundAlgo packages what distinguishes one round-based algorithm from
 // another.
@@ -94,17 +106,29 @@ type roundLoop struct {
 	cum    int // cumulative draws per still-active group
 	eps    float64
 	capped bool
-	buf    []float64 // block draw buffer
+
+	workers int         // draw-phase fan-out (≤ 1 draws inline)
+	drawIdx []int       // groups drawing this round, in index order
+	drawN   []int       // matching per-group block sizes
+	bufs    [][]float64 // per-worker block draw buffers
 }
 
-// newRoundLoop builds the loop state. opts must already be validated.
+// newRoundLoop builds the loop state. opts must already be validated. The
+// run's RNG discipline is fixed here: one word is taken from rng and every
+// group derives its own stream from it, keyed by group index — so the
+// sample a group sees depends only on the seed, the group's position, and
+// how many draws it has taken, never on draw interleaving across groups.
 func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo roundAlgo) *roundLoop {
 	k := u.K()
+	workers := opts.Workers
+	if workers > k {
+		workers = k
+	}
 	return &roundLoop{
 		u:         u,
 		opts:      opts,
 		sched:     newSchedule(u, opts),
-		sampler:   dataset.NewSampler(u, rng, !opts.WithReplacement),
+		sampler:   dataset.NewStreamSampler(u, rng.Uint64(), !opts.WithReplacement),
 		algo:      algo,
 		k:         k,
 		estimates: make([]float64, k),
@@ -114,6 +138,10 @@ func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo round
 		isolated:  make([]bool, k),
 		actIdx:    make([]int, 0, k),
 		drained:   make([]bool, k),
+		workers:   workers,
+		drawIdx:   make([]int, 0, k),
+		drawN:     make([]int, 0, k),
+		bufs:      make([][]float64, max(1, workers)),
 	}
 }
 
@@ -190,7 +218,18 @@ func (lp *roundLoop) seed() {
 // cannot cover a full block draws what is left; one that has nothing left
 // settles at width zero (its running mean is exact) or, in
 // keepExhaustedActive mode, is marked drained.
+//
+// The round is planned sequentially (block sizes, exhaustion settles — the
+// only part that mutates cross-group state, kept in deterministic group
+// order), then the planned block draws fan across the worker pool. Each
+// draw touches only group-owned state: the group's RNG stream and
+// permutation, its running mean, a per-worker buffer, and the sampler's
+// atomic accounting — so the fan-out needs no locks and the barrier at the
+// end of ParallelForWorkers publishes every estimate before decide reads
+// them.
 func (lp *roundLoop) drawRound(fresh int) {
+	lp.drawIdx = lp.drawIdx[:0]
+	lp.drawN = lp.drawN[:0]
 	for i := 0; i < lp.k; i++ {
 		if !lp.active[i] || lp.drained[i] {
 			continue
@@ -212,14 +251,25 @@ func (lp *roundLoop) drawRound(fresh int) {
 				}
 			}
 		}
-		lp.drawGroup(i, n)
+		lp.drawIdx = append(lp.drawIdx, i)
+		lp.drawN = append(lp.drawN, n)
 	}
+	if lp.workers <= 1 || len(lp.drawIdx) <= 1 {
+		for j, i := range lp.drawIdx {
+			lp.drawGroup(0, i, lp.drawN[j])
+		}
+		return
+	}
+	ParallelForWorkers(len(lp.drawIdx), lp.workers, func(w, j int) {
+		lp.drawGroup(w, lp.drawIdx[j], lp.drawN[j])
+	})
 }
 
-// drawGroup folds n fresh samples into group i's running mean. The n == 1
-// path is the paper's incremental update, bit-for-bit what the scalar
-// algorithms computed; blocks accumulate a sum and pay one division.
-func (lp *roundLoop) drawGroup(i, n int) {
+// drawGroup folds n fresh samples into group i's running mean, using
+// worker w's scratch buffer. The n == 1 path is the paper's incremental
+// update, bit-for-bit what the scalar algorithms computed; blocks
+// accumulate a sum and pay one division.
+func (lp *roundLoop) drawGroup(w, i, n int) {
 	prev := lp.cum
 	nc := prev + n
 	if n == 1 {
@@ -238,10 +288,10 @@ func (lp *roundLoop) drawGroup(i, n int) {
 			sum += lp.algo.drawOne(i)
 		}
 	} else {
-		if cap(lp.buf) < n {
-			lp.buf = make([]float64, n)
+		if cap(lp.bufs[w]) < n {
+			lp.bufs[w] = make([]float64, n)
 		}
-		buf := lp.buf[:n]
+		buf := lp.bufs[w][:n]
 		lp.sampler.DrawBatch(i, buf)
 		for _, v := range buf {
 			sum += v

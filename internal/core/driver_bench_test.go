@@ -1,7 +1,10 @@
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -59,6 +62,88 @@ func BenchmarkIFocus(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec")
 			b.ReportMetric(float64(total)/float64(b.N), "samples/op")
+		})
+	}
+}
+
+// BenchmarkIFocusParallel measures the parallel round driver: the same
+// fixed-work IFOCUS run at batch=256 with the per-group block draws fanned
+// across increasing worker counts. Results are bit-identical at every
+// worker count (TestWorkerInvariance), so samples/sec is directly
+// comparable across sub-benchmarks; the CI bench job records workers=1
+// against workers=ncpu in BENCH_core.json to track the scaling trajectory.
+// The acceptance bar for the parallel driver is ≥3× samples/sec at
+// workers=8 over workers=1 on 8+ core hardware.
+func BenchmarkIFocusParallel(b *testing.B) {
+	const (
+		perGroup = 20_000
+		batch    = 256
+	)
+	cases := []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=8", 8}}
+	if n := runtime.NumCPU(); n != 1 && n != 8 {
+		cases = append(cases, struct {
+			name    string
+			workers int
+		}{fmt.Sprintf("workers=ncpu(%d)", n), n})
+	}
+	for _, tc := range cases {
+		workers := tc.workers
+		b.Run(tc.name, func(b *testing.B) {
+			u := benchUniverse()
+			opts := DefaultOptions()
+			opts.BatchSize = batch
+			opts.Workers = workers
+			opts.MaxRounds = (perGroup + batch - 1) / batch
+			var total int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := IFocus(u, xrand.New(uint64(i)+1), opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Capped {
+					b.Fatal("benchmark run separated early; fixed-work assumption broken")
+				}
+				total += res.TotalSamples
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "samples/sec")
+			b.ReportMetric(float64(total)/float64(b.N), "samples/op")
+		})
+	}
+}
+
+// BenchmarkIngestCSV measures sharded CSV ingestion throughput (rows/sec)
+// at increasing worker counts over an in-memory payload.
+func BenchmarkIngestCSV(b *testing.B) {
+	payload := func() []byte {
+		var sb strings.Builder
+		r := xrand.New(0xc5f)
+		for i := 0; i < 2_000_000; i++ {
+			fmt.Fprintf(&sb, "g%02d,%.4f\n", i%50, 100*r.Float64())
+		}
+		return []byte(sb.String())
+	}()
+	counts := []int{1, 8}
+	if n := runtime.NumCPU(); n != 1 && n != 8 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var rows int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tb, err := dataset.ReadCSVWorkers(bytes.NewReader(payload), workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows += tb.NumRows()
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/sec")
 		})
 	}
 }

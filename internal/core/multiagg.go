@@ -62,11 +62,14 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 	// along for free: the draw hook folds each tuple's Z into its own
 	// running mean (same incremental update, same count) before handing Y
 	// back to the driver. No partial-result events fire — a Y-settled
-	// group's estimates still move if phase 2 keeps drawing from it.
+	// group's estimates still move if phase 2 keeps drawing from it. Pair
+	// tuples draw from group i's own stream (RNGFor) and every mutated
+	// cell (zcnt[i], estZ[i]) is group-owned, so the hook is safe under
+	// the parallel draw fan-out.
 	var lp *roundLoop
 	lp = newRoundLoop(u, rng, &half, roundAlgo{
 		drawOne: func(i int) float64 {
-			y, z := pairs[i].DrawPair(rng)
+			y, z := pairs[i].DrawPair(lp.sampler.RNGFor(i))
 			lp.sampler.Record(i, 1)
 			zcnt[i]++
 			zm := float64(zcnt[i])
@@ -97,9 +100,11 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 	// samples; the anytime schedule is valid at every m simultaneously, so
 	// its current interval [estZ[i] ± ε(counts[i])] is immediately usable.
 	// Per-group widths now differ, so the general disjointness check is
-	// used, and each round advances every active group by one sample.
+	// used, and each round advances every active group by one sample —
+	// continuing each group's phase-1 stream, whose position is worker-
+	// invariant (it depends only on the group's draw count).
 	draw := func(i int) {
-		y, z := pairs[i].DrawPair(rng)
+		y, z := pairs[i].DrawPair(lp.sampler.RNGFor(i))
 		counts[i]++
 		m := float64(counts[i])
 		estY[i] = (m-1)/m*estY[i] + y/m

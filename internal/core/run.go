@@ -3,9 +3,9 @@ package core
 import (
 	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/dataset"
+	"repro/internal/par"
 	"repro/internal/xrand"
 )
 
@@ -166,9 +166,13 @@ type Spec struct {
 	// MaxDraws caps total draws for AlgoNoIndex and Cells runs
 	// (0 = unlimited).
 	MaxDraws int64
-	// Workers bounds the fan-out of the parallel exact scan (AlgoScan);
-	// 0 or 1 scans sequentially. Sampling algorithms are round-sequential
-	// by construction and ignore it.
+	// Workers bounds intra-run parallelism: the fan-out of the exact scan
+	// (AlgoScan) and of each sampling round's per-group block draws in the
+	// shared round driver (the IFOCUS family, ROUNDROBIN, the SUM
+	// estimators, MultiAgg phase 1). Results are identical for every
+	// value — parallel rounds only partition independent per-group work.
+	// 0 or 1 runs inline. IREFINE, NOINDEX, and Cells runs draw from one
+	// shared stream and ignore it.
 	Workers int
 
 	Opts Options
@@ -199,6 +203,9 @@ func Run(ctx context.Context, u *dataset.Universe, rng *xrand.RNG, spec Spec) (*
 	opts := spec.Opts
 	if ctx != nil {
 		opts.Ctx = ctx
+	}
+	if spec.Workers != 0 {
+		opts.Workers = spec.Workers
 	}
 
 	// Multiple group-by replaces the universe entirely.
@@ -373,34 +380,17 @@ func cellRunResult(mg *MultiGroupByResult) *RunResult {
 
 // ParallelFor runs fn(0..n-1) across at most workers goroutines (clamped
 // to n; workers <= 1 runs inline). Each fn call must touch only its own
-// index. It is the one bounded work-queue primitive shared by the parallel
-// scan below and the public engine's per-group preprocessing.
+// index. It is the bounded work-queue primitive (internal/par) shared by
+// the parallel scan below, the round driver's draw fan-out, the public
+// engine's per-group preprocessing, and sharded table ingestion.
 func ParallelFor(n, workers int, fn func(i int)) {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	next := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				fn(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	par.For(n, workers, fn)
+}
+
+// ParallelForWorkers is ParallelFor with the worker's identity passed to
+// each call, so fn can select per-worker scratch without synchronization.
+func ParallelForWorkers(n, workers int, fn func(w, i int)) {
+	par.ForWorkers(n, workers, fn)
 }
 
 // scanParallel is Scan with the per-group scans fanned out across at most

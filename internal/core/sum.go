@@ -114,14 +114,16 @@ func SumUnknownSizes(u *dataset.Universe, est dataset.FractionEstimator, rng *xr
 	}
 	// Each normalized draw needs auxiliary randomness for the membership
 	// indicator, so the batched native path does not apply; the driver
-	// loops the hook per block instead.
+	// loops the hook per block instead. The indicator draws from group i's
+	// own stream (RNGFor), keeping the hook safe under the parallel draw
+	// fan-out and the run worker-invariant.
 	var lp *roundLoop
 	lp = newRoundLoop(u, rng, &opts, roundAlgo{
 		notifyPartials: true,
 		capNotify:      true,
 		drawOne: func(i int) float64 {
 			x := lp.sampler.Draw(i)
-			z := est.DrawFractionEstimate(i, rng)
+			z := est.DrawFractionEstimate(i, lp.sampler.RNGFor(i))
 			return x * z
 		},
 		decide: func(lp *roundLoop) {

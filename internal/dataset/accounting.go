@@ -1,6 +1,10 @@
 package dataset
 
-import "repro/internal/xrand"
+import (
+	"sync/atomic"
+
+	"repro/internal/xrand"
+)
 
 // Sampler mediates every draw an algorithm makes from a universe, keeping
 // exact per-group and total sample counts (the paper's m_i and C = Σ m_i),
@@ -16,27 +20,54 @@ import "repro/internal/xrand"
 // a block with one dispatch. Both produce the same stream for the same
 // total number of samples, so algorithms can batch freely without changing
 // their statistics.
+//
+// Concurrency: all accounting (counts, total, exhausted flags) is atomic,
+// so distinct groups of one sampler may be drawn from concurrently — the
+// discipline of the parallel round driver, which fans groups across a
+// worker pool. Draw state itself (a group's permutation position, its RNG
+// stream) is still per group and unsynchronized: at most one goroutine may
+// draw from a given group at a time.
 type Sampler struct {
 	u       *Universe
 	rng     *xrand.RNG
+	streams []*xrand.RNG
 	without bool
 
 	counts    []int64
 	total     int64
-	exhausted []bool
+	exhausted []atomic.Bool
 }
 
-// NewSampler returns a sampler over u. If withoutReplacement is true,
+// NewSampler returns a sampler over u whose draws all consume the one
+// shared generator rng, in draw order. If withoutReplacement is true,
 // groups implementing WithoutReplacementGroup are consumed without
 // replacement — starting from a fresh permutation: any draw state left on
 // the groups by a previous run is reset, so reusing one Universe across
 // consecutive runs cannot silently continue (or exhaust) an earlier run's
 // permutation.
 //
-// Draw state lives on the groups, and groups are not safe for concurrent
-// use: concurrent runs must not share materialized groups (build one set
-// per run, or per goroutine). Consecutive reuse is fine.
+// Because the shared stream is consumed in draw order, a shared-RNG
+// sampler must be drawn from sequentially. The parallel round driver uses
+// NewStreamSampler instead.
 func NewSampler(u *Universe, rng *xrand.RNG, withoutReplacement bool) *Sampler {
+	return newSampler(u, rng, nil, withoutReplacement)
+}
+
+// NewStreamSampler returns a sampler over u in which every group owns a
+// deterministic RNG stream derived from base and the group's index
+// (xrand.NewStream). Group i's randomness is then a pure function of
+// (base, i) and the number of samples it has drawn — never of the order
+// groups were visited — so runs produce identical results whether groups
+// are drawn sequentially or fanned across any number of workers.
+func NewStreamSampler(u *Universe, base uint64, withoutReplacement bool) *Sampler {
+	streams := make([]*xrand.RNG, u.K())
+	for i := range streams {
+		streams[i] = xrand.NewStream(base, uint64(i))
+	}
+	return newSampler(u, nil, streams, withoutReplacement)
+}
+
+func newSampler(u *Universe, rng *xrand.RNG, streams []*xrand.RNG, withoutReplacement bool) *Sampler {
 	if withoutReplacement {
 		for _, g := range u.Groups {
 			if wg, ok := g.(WithoutReplacementGroup); ok {
@@ -47,26 +78,27 @@ func NewSampler(u *Universe, rng *xrand.RNG, withoutReplacement bool) *Sampler {
 	return &Sampler{
 		u:         u,
 		rng:       rng,
+		streams:   streams,
 		without:   withoutReplacement,
 		counts:    make([]int64, u.K()),
-		exhausted: make([]bool, u.K()),
+		exhausted: make([]atomic.Bool, u.K()),
 	}
 }
 
 // Draw samples once from group i and records the draw.
 func (s *Sampler) Draw(i int) float64 {
 	g := s.u.Groups[i]
-	s.counts[i]++
-	s.total++
+	s.Record(i, 1)
+	r := s.RNGFor(i)
 	if s.without {
 		if wg, ok := g.(WithoutReplacementGroup); ok {
-			if v, ok := wg.DrawWithoutReplacement(s.rng); ok {
+			if v, ok := wg.DrawWithoutReplacement(r); ok {
 				return v
 			}
-			s.exhausted[i] = true
+			s.exhausted[i].Store(true)
 		}
 	}
-	return g.Draw(s.rng)
+	return g.Draw(r)
 }
 
 // DrawBatch fills dst with samples from group i and records them. One call
@@ -79,23 +111,23 @@ func (s *Sampler) DrawBatch(i int, dst []float64) {
 		return
 	}
 	g := s.u.Groups[i]
-	s.counts[i] += int64(len(dst))
-	s.total += int64(len(dst))
+	s.Record(i, len(dst))
+	r := s.RNGFor(i)
 	if s.without {
 		switch wg := g.(type) {
 		case BatchWithoutReplacementGroup:
-			taken := wg.DrawBatchWithoutReplacement(s.rng, dst)
+			taken := wg.DrawBatchWithoutReplacement(r, dst)
 			if taken == len(dst) {
 				return
 			}
-			s.exhausted[i] = true
+			s.exhausted[i].Store(true)
 			dst = dst[taken:]
 		case WithoutReplacementGroup:
 			taken := 0
 			for taken < len(dst) {
-				v, ok := wg.DrawWithoutReplacement(s.rng)
+				v, ok := wg.DrawWithoutReplacement(r)
 				if !ok {
-					s.exhausted[i] = true
+					s.exhausted[i].Store(true)
 					break
 				}
 				dst[taken] = v
@@ -108,38 +140,53 @@ func (s *Sampler) DrawBatch(i int, dst []float64) {
 		}
 	}
 	if bg, ok := g.(BatchGroup); ok {
-		bg.DrawBatch(s.rng, dst)
+		bg.DrawBatch(r, dst)
 		return
 	}
 	for j := range dst {
-		dst[j] = g.Draw(s.rng)
+		dst[j] = g.Draw(r)
 	}
 }
 
 // Record accounts n samples that were drawn outside the sampler's Group
 // interface (pair draws, normalized draws with auxiliary randomness), so
-// Counts and Total stay exact for algorithms with custom draw paths.
+// Counts and Total stay exact for algorithms with custom draw paths. It is
+// safe to call concurrently for any groups.
 func (s *Sampler) Record(i int, n int) {
-	s.counts[i] += int64(n)
-	s.total += int64(n)
+	atomic.AddInt64(&s.counts[i], int64(n))
+	atomic.AddInt64(&s.total, int64(n))
 }
 
 // Counts returns the per-group sample counts m_i. The returned slice is
-// owned by the sampler; callers must copy it if they retain it.
+// owned by the sampler; callers must copy it if they retain it, and must
+// not read it while draws are in flight on other goroutines.
 func (s *Sampler) Counts() []int64 { return s.counts }
 
 // Count returns m_i for group i.
-func (s *Sampler) Count(i int) int64 { return s.counts[i] }
+func (s *Sampler) Count(i int) int64 { return atomic.LoadInt64(&s.counts[i]) }
 
 // Total returns the total sample complexity C = Σ m_i so far.
-func (s *Sampler) Total() int64 { return s.total }
+func (s *Sampler) Total() int64 { return atomic.LoadInt64(&s.total) }
 
 // Exhausted reports whether group i ran out of without-replacement samples.
-func (s *Sampler) Exhausted(i int) bool { return s.exhausted[i] }
+func (s *Sampler) Exhausted(i int) bool { return s.exhausted[i].Load() }
 
-// RNG exposes the sampler's generator for algorithms that need auxiliary
-// randomness (e.g. the unknown-size SUM estimator).
+// RNG exposes the sampler's shared generator for algorithms that need
+// auxiliary randomness. It is nil for stream samplers, whose randomness is
+// all per group — use RNGFor there.
 func (s *Sampler) RNG() *xrand.RNG { return s.rng }
+
+// RNGFor returns the generator that feeds group i's draws: the group's own
+// stream on a stream sampler, the shared generator otherwise. Algorithms
+// with custom draw paths (pair draws, membership indicators) must take
+// their auxiliary randomness from here so the per-group stream discipline
+// — and with it worker invariance — extends to every sample they consume.
+func (s *Sampler) RNGFor(i int) *xrand.RNG {
+	if s.streams != nil {
+		return s.streams[i]
+	}
+	return s.rng
+}
 
 // WithoutReplacement reports whether the sampler consumes groups without
 // replacement.

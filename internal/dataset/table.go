@@ -5,14 +5,25 @@
 // needs. Tables are the bridge between real workloads — log lines, query
 // results, CSV exports — and the sampling algorithms, which consume them
 // as zero-copy SliceGroup views over column segments.
+//
+// Ingestion is sharded: BuildTable and ReadCSV split their input into
+// per-worker shards, stage each shard's groups in parallel, and merge the
+// shards in input order. The merge is stable — group order is the global
+// first-seen order and every group's rows keep their file order — so the
+// produced table is byte-identical to a sequential build no matter how
+// many workers ran or in what order shards completed.
 package dataset
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"io"
+	"runtime"
 	"strconv"
 	"strings"
+
+	"repro/internal/par"
 )
 
 // Row is one raw record of a GROUP BY ingestion: a group label and the
@@ -59,8 +70,27 @@ func (t *Table) MaxValue() float64 { return t.maxV }
 
 // Groups returns one sampling group per distinct label, in first-seen
 // order. The groups are zero-copy views over the table's column and are
-// built once; repeated calls return the same slice.
+// built once; repeated calls return the same slice. Groups carry
+// without-replacement draw state, so this one shared set must not be
+// sampled by two queries at the same time — concurrent queries take a
+// View each.
 func (t *Table) Groups() []Group { return t.groups }
+
+// View returns a fresh set of sampling groups over the table's columns.
+// The views share the packed value storage (and the precomputed means)
+// with the table — no rows are copied — but each call allocates its own
+// without-replacement draw state, so any number of concurrent queries can
+// run against one shared table by taking one View per query.
+func (t *Table) View() []Group {
+	views := make([]Group, len(t.groups))
+	for i, g := range t.groups {
+		sg := *(g.(*SliceGroup))
+		sg.perm = nil
+		sg.next = 0
+		views[i] = &sg
+	}
+	return views
+}
 
 // Universe wraps the table's groups with the value bound c. c == 0 infers
 // the bound from the ingested maximum (1 when all values are zero, so the
@@ -85,6 +115,36 @@ func (t *Table) Universe(c float64) (*Universe, error) {
 // columnar Table on Build. The zero value is not usable; construct with
 // NewTableBuilder.
 type TableBuilder struct {
+	stage tableStage
+}
+
+// NewTableBuilder returns an empty builder.
+func NewTableBuilder() *TableBuilder {
+	return &TableBuilder{stage: newTableStage()}
+}
+
+// Add ingests one raw row.
+func (b *TableBuilder) Add(group string, value float64) {
+	b.stage.add(group, value)
+}
+
+// Len returns the number of rows ingested so far.
+func (b *TableBuilder) Len() int { return b.stage.rows }
+
+// Build packs the accumulated rows into a Table. The per-group staging
+// slices are released; the builder can be reused afterwards (it restarts
+// empty). Negative values are rejected because every algorithm requires
+// values in [0, c].
+func (b *TableBuilder) Build() (*Table, error) {
+	t, err := mergeStages([]*tableStage{&b.stage}, 1)
+	*b = *NewTableBuilder()
+	return t, err
+}
+
+// tableStage is the per-shard (and per-builder) staging area: rows grouped
+// by label in first-seen order, with the value-range bookkeeping the final
+// table needs.
+type tableStage struct {
 	index map[string]int
 	names []string
 	cols  [][]float64
@@ -95,87 +155,248 @@ type TableBuilder struct {
 	negV  float64
 }
 
-// NewTableBuilder returns an empty builder.
-func NewTableBuilder() *TableBuilder {
-	return &TableBuilder{index: map[string]int{}}
+func newTableStage() tableStage {
+	return tableStage{index: map[string]int{}}
 }
 
-// Add ingests one raw row.
-func (b *TableBuilder) Add(group string, value float64) {
-	i, ok := b.index[group]
+func (s *tableStage) add(group string, value float64) {
+	i, ok := s.index[group]
 	if !ok {
-		i = len(b.names)
-		b.index[group] = i
-		b.names = append(b.names, group)
-		b.cols = append(b.cols, nil)
+		i = len(s.names)
+		s.index[group] = i
+		s.names = append(s.names, group)
+		s.cols = append(s.cols, nil)
 	}
-	b.cols[i] = append(b.cols[i], value)
-	if b.rows == 0 || value < b.minV {
-		b.minV = value
+	s.cols[i] = append(s.cols[i], value)
+	if s.rows == 0 || value < s.minV {
+		s.minV = value
 	}
-	if b.rows == 0 || value > b.maxV {
-		b.maxV = value
+	if s.rows == 0 || value > s.maxV {
+		s.maxV = value
 	}
-	if value < 0 && !b.neg {
-		b.neg = true
-		b.negV = value
+	if value < 0 && !s.neg {
+		s.neg = true
+		s.negV = value
 	}
-	b.rows++
+	s.rows++
 }
 
-// Len returns the number of rows ingested so far.
-func (b *TableBuilder) Len() int { return b.rows }
-
-// Build packs the accumulated rows into a Table. The per-group staging
-// slices are released; the builder can be reused afterwards (it restarts
-// empty). Negative values are rejected because every algorithm requires
-// values in [0, c].
-func (b *TableBuilder) Build() (*Table, error) {
-	if b.rows == 0 {
+// mergeStages packs input-ordered shard stages into one Table. Iterating
+// shards in input order makes the merge stable: the global group order is
+// the true first-seen order over the concatenated input, and each group's
+// values are concatenated in input order, so the result does not depend on
+// how the shards were scheduled. Column packing and per-group mean
+// computation fan out over workers (group destinations are disjoint).
+func mergeStages(stages []*tableStage, workers int) (*Table, error) {
+	total := 0
+	for _, s := range stages {
+		total += s.rows
+	}
+	if total == 0 {
 		return nil, fmt.Errorf("dataset: table has no rows")
 	}
-	if b.neg {
-		return nil, fmt.Errorf("dataset: table holds negative value %v; shift values into [0, c]", b.negV)
+	for _, s := range stages {
+		if s.neg {
+			return nil, fmt.Errorf("dataset: table holds negative value %v; shift values into [0, c]", s.negV)
+		}
 	}
-	t := &Table{
-		names:   b.names,
-		col:     make([]float64, 0, b.rows),
-		offsets: make([]int, 1, len(b.names)+1),
-		minV:    b.minV,
-		maxV:    b.maxV,
+
+	t := &Table{}
+	seeded := false
+	for _, s := range stages {
+		if s.rows == 0 {
+			continue
+		}
+		if !seeded {
+			t.minV, t.maxV = s.minV, s.maxV
+			seeded = true
+			continue
+		}
+		if s.minV < t.minV {
+			t.minV = s.minV
+		}
+		if s.maxV > t.maxV {
+			t.maxV = s.maxV
+		}
 	}
-	for _, col := range b.cols {
-		t.col = append(t.col, col...)
-		t.offsets = append(t.offsets, len(t.col))
+
+	// Global first-seen group order, and each shard's local→global map.
+	index := map[string]int{}
+	locals := make([][]int, len(stages))
+	lengths := []int{}
+	for si, s := range stages {
+		locals[si] = make([]int, len(s.names))
+		for li, name := range s.names {
+			gi, ok := index[name]
+			if !ok {
+				gi = len(t.names)
+				index[name] = gi
+				t.names = append(t.names, name)
+				lengths = append(lengths, 0)
+			}
+			locals[si][li] = gi
+			lengths[gi] += len(s.cols[li])
+		}
 	}
-	t.groups = make([]Group, t.K())
-	for i, name := range t.names {
-		t.groups[i] = NewSliceGroup(name, t.Column(i))
+
+	t.offsets = make([]int, len(t.names)+1)
+	for gi, n := range lengths {
+		t.offsets[gi+1] = t.offsets[gi] + n
 	}
-	*b = *NewTableBuilder()
+	t.col = make([]float64, total)
+	t.groups = make([]Group, len(t.names))
+
+	// Lay out every (shard, local group) segment: walking shards in input
+	// order hands each segment the next destination within its group's
+	// column, which is exactly the stable merge — and makes the pack one
+	// linear pass over the segments instead of a per-group rescan of every
+	// shard (high-cardinality ingests have K within a constant factor of
+	// the row count, so anything superlinear in K is superlinear in rows).
+	type segment struct{ si, li, dst int }
+	var segs []segment
+	next := append([]int(nil), t.offsets[:len(t.names)]...)
+	for si, s := range stages {
+		for li, gi := range locals[si] {
+			segs = append(segs, segment{si, li, next[gi]})
+			next[gi] += len(s.cols[li])
+		}
+	}
+
+	// Copy segments, then build the group views, each in parallel: the
+	// segment destinations are disjoint by construction, and every group
+	// owns a disjoint column slice, so neither fan-out needs locks.
+	par.For(len(segs), workers, func(j int) {
+		sg := segs[j]
+		copy(t.col[sg.dst:], stages[sg.si].cols[sg.li])
+	})
+	par.For(len(t.names), workers, func(gi int) {
+		t.groups[gi] = NewSliceGroup(t.names[gi], t.col[t.offsets[gi]:t.offsets[gi+1]])
+	})
 	return t, nil
 }
 
+// autoShardMinRows and autoShardMinBytes gate auto-parallel ingestion:
+// below these sizes the shard bookkeeping costs more than it saves, so
+// workers-0 calls stay sequential. Explicit worker counts always shard.
+const (
+	autoShardMinRows  = 1 << 15
+	autoShardMinBytes = 1 << 19
+)
+
 // BuildTable groups raw rows by label (first-seen order) into a columnar
-// Table — the one-call ingestion path for in-memory row sets.
+// Table — the one-call ingestion path for in-memory row sets. Large inputs
+// are sharded across all CPUs; the result is identical to a sequential
+// build (see BuildTableWorkers).
 func BuildTable(rows []Row) (*Table, error) {
-	b := NewTableBuilder()
-	for _, row := range rows {
-		b.Add(row.Group, row.Value)
+	return BuildTableWorkers(rows, 0)
+}
+
+// BuildTableWorkers is BuildTable with an explicit parallelism bound.
+// workers == 0 uses all CPUs for large inputs and stays sequential for
+// small ones; workers == 1 forces a sequential build; larger values shard
+// the rows across that many goroutines. The produced table is byte-
+// identical for every workers value.
+func BuildTableWorkers(rows []Row, workers int) (*Table, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+		if len(rows) < autoShardMinRows {
+			workers = 1
+		}
 	}
-	return b.Build()
+	nshards := workers
+	if nshards > len(rows) {
+		nshards = len(rows)
+	}
+	if nshards <= 1 {
+		s := newTableStage()
+		for _, row := range rows {
+			s.add(row.Group, row.Value)
+		}
+		return mergeStages([]*tableStage{&s}, 1)
+	}
+	stages := make([]*tableStage, nshards)
+	par.For(nshards, workers, func(si int) {
+		lo := si * len(rows) / nshards
+		hi := (si + 1) * len(rows) / nshards
+		s := newTableStage()
+		for _, row := range rows[lo:hi] {
+			s.add(row.Group, row.Value)
+		}
+		stages[si] = &s
+	})
+	return mergeStages(stages, workers)
 }
 
 // ReadCSV ingests group,value records from r into a Table. The first
 // column is the group label and the second the numeric value; extra
 // columns are ignored. A header row is skipped automatically when its
 // value column does not parse as a number. Records may vary in width but
-// need at least two fields.
+// need at least two fields. Large inputs are parsed in parallel shards;
+// the result is identical to a sequential read (see ReadCSVWorkers).
 func ReadCSV(r io.Reader) (*Table, error) {
+	return ReadCSVWorkers(r, 0)
+}
+
+// ReadCSVWorkers is ReadCSV with an explicit parallelism bound: the input
+// is split at record boundaries into shards parsed concurrently, then
+// merged in file order, so the produced table is byte-identical for every
+// workers value — per-group row order included. workers == 0 uses all
+// CPUs for large inputs; workers == 1 forces the sequential path. Inputs
+// containing quoted fields fall back to the sequential parser (a quoted
+// field may hide a record separator, so byte-split points cannot be
+// trusted), as does any input a shard fails to parse — the sequential
+// rerun reports the canonical error with its record number.
+func ReadCSVWorkers(r io.Reader, workers int) (*Table, error) {
+	if workers == 1 {
+		// Explicit sequential parse streams straight from r — no whole-
+		// input buffer.
+		return readCSVSequential(r)
+	}
+	if workers == 0 {
+		// Auto mode peeks up to the sharding threshold before committing
+		// memory: small inputs stream through the sequential parser
+		// without ever being slurped whole; anything larger is worth both
+		// the buffer (sharding needs byte-splittable input) and the fan-
+		// out.
+		head := make([]byte, autoShardMinBytes)
+		n, err := io.ReadFull(r, head)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return readCSVSequential(bytes.NewReader(head[:n]))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv: %w", err)
+		}
+		rest, err := io.ReadAll(r)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv: %w", err)
+		}
+		return readCSVData(append(head[:n], rest...), runtime.GOMAXPROCS(0))
+	}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv: %w", err)
+	}
+	return readCSVData(data, workers)
+}
+
+// readCSVData parses in-memory CSV bytes, sharding when workers and the
+// content allow it and falling back to the sequential parser otherwise.
+func readCSVData(data []byte, workers int) (*Table, error) {
+	if workers > 1 && !bytes.ContainsRune(data, '"') {
+		if t, ok := readCSVSharded(data, workers); ok {
+			return t, nil
+		}
+	}
+	return readCSVSequential(bytes.NewReader(data))
+}
+
+// readCSVSequential is the reference parser: one pass, exact record
+// numbers in errors.
+func readCSVSequential(r io.Reader) (*Table, error) {
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	cr.TrimLeadingSpace = true
-	b := NewTableBuilder()
+	s := newTableStage()
 	line := 0
 	for {
 		rec, err := cr.Read()
@@ -196,7 +417,85 @@ func ReadCSV(r io.Reader) (*Table, error) {
 			}
 			return nil, fmt.Errorf("dataset: csv record %d: bad value %q", line, rec[1])
 		}
-		b.Add(strings.TrimSpace(rec[0]), v)
+		s.add(strings.TrimSpace(rec[0]), v)
 	}
-	return b.Build()
+	return mergeStages([]*tableStage{&s}, 1)
+}
+
+// readCSVSharded parses quote-free CSV bytes in parallel shards split at
+// newline boundaries. It reports ok=false when any shard hits a malformed
+// record, in which case the caller redoes the sequential pass to produce
+// the canonical error.
+func readCSVSharded(data []byte, workers int) (*Table, bool) {
+	// Replicate the sequential header rule up front: the first record is a
+	// header iff its value column does not parse.
+	head := csv.NewReader(bytes.NewReader(data))
+	head.FieldsPerRecord = -1
+	head.TrimLeadingSpace = true
+	rec, err := head.Read()
+	if err != nil || len(rec) < 2 {
+		return nil, false
+	}
+	if _, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64); err != nil {
+		data = data[head.InputOffset():]
+	}
+
+	// Shard at newline boundaries. Quote-free CSV cannot carry a record
+	// separator inside a field, so every '\n' ends a record.
+	bounds := []int{0}
+	for s := 1; s < workers; s++ {
+		target := s * len(data) / workers
+		prev := bounds[len(bounds)-1]
+		if target < prev {
+			target = prev
+		}
+		nl := bytes.IndexByte(data[target:], '\n')
+		if nl < 0 {
+			break
+		}
+		cut := target + nl + 1
+		if cut > prev && cut < len(data) {
+			bounds = append(bounds, cut)
+		}
+	}
+	bounds = append(bounds, len(data))
+
+	nshards := len(bounds) - 1
+	stages := make([]*tableStage, nshards)
+	failed := make([]bool, nshards)
+	par.For(nshards, workers, func(si int) {
+		cr := csv.NewReader(bytes.NewReader(data[bounds[si]:bounds[si+1]]))
+		cr.FieldsPerRecord = -1
+		cr.TrimLeadingSpace = true
+		s := newTableStage()
+		for {
+			rec, err := cr.Read()
+			if err == io.EOF {
+				break
+			}
+			if err != nil || len(rec) < 2 {
+				failed[si] = true
+				return
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
+			if err != nil {
+				failed[si] = true
+				return
+			}
+			s.add(strings.TrimSpace(rec[0]), v)
+		}
+		stages[si] = &s
+	})
+	for _, f := range failed {
+		if f {
+			return nil, false
+		}
+	}
+	t, err := mergeStages(stages, workers)
+	if err != nil {
+		// Canonical error wording (negative value, empty input) comes from
+		// the sequential pass.
+		return nil, false
+	}
+	return t, true
 }

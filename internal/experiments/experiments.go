@@ -88,6 +88,11 @@ type Scale struct {
 	// Resolution is the r of the -R variants, in value units (paper: 1,
 	// i.e. 1% of the [0,100] domain).
 	Resolution float64
+	// Workers fans each sampling round's per-group draws across this many
+	// goroutines (0 or 1 = sequential). Results are identical for every
+	// value — per-group RNG streams make the draws order-independent — so
+	// this only changes how fast a paper-scale sweep finishes.
+	Workers int
 }
 
 // DefaultScale returns the laptop-sized configuration.
@@ -119,6 +124,7 @@ func (s Scale) options(a Algo) core.Options {
 	opts := core.DefaultOptions()
 	opts.Delta = s.Delta
 	opts.MaxRounds = s.MaxRounds
+	opts.Workers = s.Workers
 	if a.resolutionVariant() {
 		opts.Resolution = s.Resolution
 	}

@@ -1,0 +1,50 @@
+// Package par provides the one bounded work-queue primitive shared by the
+// parallel round driver, the exact-scan fan-out, the engine's per-group
+// preprocessing, and sharded table ingestion. It deliberately stays tiny:
+// a fixed pool of workers draining an index channel, with an inline fast
+// path when parallelism is not requested — so callers can use the same
+// code path for Workers=1 and Workers=N and rely on the results being
+// identical.
+package par
+
+import "sync"
+
+// For runs fn(0..n-1) across at most workers goroutines (clamped to n;
+// workers <= 1 runs inline on the calling goroutine). Each fn call must
+// touch only state owned by its index. For returns after every call has
+// completed, so writes made by fn happen-before the caller's next read.
+func For(n, workers int, fn func(i int)) {
+	ForWorkers(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorkers is For with the worker's identity passed to each call:
+// fn(w, i) with w in [0, workers). Indices handled by the same worker are
+// processed sequentially, so w can select per-worker scratch (buffers,
+// accumulators) without synchronization. The inline path uses w = 0.
+func ForWorkers(n, workers int, fn func(w, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				fn(w, i)
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,57 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversEveryIndexOnce: each index runs exactly once for any
+// workers value, including the inline and over-provisioned cases.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 100
+		var hits [n]int64
+		For(n, workers, func(i int) { atomic.AddInt64(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestForWorkersIdentity: worker ids stay in [0, min(workers, n)), and the
+// inline path reports worker 0.
+func TestForWorkersIdentity(t *testing.T) {
+	var maxW int64 = -1
+	ForWorkers(5, 16, func(w, i int) {
+		for {
+			cur := atomic.LoadInt64(&maxW)
+			if int64(w) <= cur || atomic.CompareAndSwapInt64(&maxW, cur, int64(w)) {
+				break
+			}
+		}
+	})
+	if maxW >= 5 {
+		t.Fatalf("worker id %d with only 5 items (workers must clamp to n)", maxW)
+	}
+	ForWorkers(3, 1, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("inline path reported worker %d", w)
+		}
+	})
+}
+
+// TestForBarrier: For must not return before every call completes.
+func TestForBarrier(t *testing.T) {
+	var done int64
+	For(50, 8, func(i int) { atomic.AddInt64(&done, 1) })
+	if done != 50 {
+		t.Fatalf("For returned with %d/50 calls complete", done)
+	}
+}
+
+// TestForZeroItems: degenerate sizes are no-ops.
+func TestForZeroItems(t *testing.T) {
+	For(0, 4, func(i int) { t.Fatal("fn called for n=0") })
+}

@@ -68,6 +68,23 @@ func (r *RNG) Split() *RNG {
 	return New(seed ^ 0xa5a5a5a5a5a5a5a5)
 }
 
+// NewStream returns the idx-th generator of the family derived from base.
+// Unlike Split, which keys each child on call order, NewStream keys on idx
+// alone: the same (base, idx) pair always yields the same stream no matter
+// how many sibling streams exist or in what order they are created. That
+// positional derivation is what lets parallel per-group sampling stay
+// bit-for-bit independent of worker count and scheduling — group i's
+// randomness is a pure function of the run seed and i, never of which
+// goroutine drew first. Statistical independence across idx comes from
+// pushing base and idx through two splitmix64 finalization rounds before
+// seeding xoshiro256**.
+func NewStream(base, idx uint64) *RNG {
+	sm := base
+	mixed := splitmix64(&sm)
+	sm = mixed ^ (idx+1)*0x9e3779b97f4a7c15
+	return New(splitmix64(&sm))
+}
+
 // Float64 returns a uniformly distributed value in [0, 1).
 func (r *RNG) Float64() float64 {
 	// 53 high bits scaled into [0,1).

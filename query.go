@@ -150,6 +150,20 @@ type Query struct {
 	// samples. 0 and 1 keep blocks fixed at BatchSize; values in (0, 1)
 	// are invalid.
 	RoundGrowth float64
+	// Workers overrides the parallelism of this query's sampling rounds
+	// and exact scans. Zero (the default) lets the engine decide: a
+	// dense-block query (BatchSize ≥ 64, or geometric RoundGrowth) fans
+	// out over however many worker slots are idle when it starts — a lone
+	// query uses the whole pool, concurrent traffic shares it — while
+	// scalar-round queries stay inline, where per-round fan-out dispatch
+	// would cost more than the one-sample draws it parallelizes. A
+	// positive value forces exactly that fan-out regardless of the
+	// engine's budget or batch size — 1 pins the query to a single
+	// goroutine. Results are bit-for-bit identical for every value (each
+	// group's randomness is its own seed-derived stream), so Workers is
+	// purely a throughput knob; combine it with BatchSize ≥ 64 so each
+	// parallel task is a dense block. Negative values are invalid.
+	Workers int
 
 	// Seed seeds the query's random stream. With Deterministic false
 	// (default), zero selects the engine's default seed; any other value

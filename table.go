@@ -14,7 +14,9 @@ type Row = dataset.Row
 // Table is a columnar (group, value) store produced by ingestion. Every
 // group's values are packed contiguously, so the engine's batched sampling
 // runs over dense memory; Groups() returns the zero-copy sampling groups
-// ready to pass to Engine.Run or Engine.Stream.
+// ready to pass to Engine.Run or Engine.Stream. One table can serve any
+// number of concurrent queries: give each query its own View() — views
+// share the packed storage but carry independent draw state.
 type Table = dataset.Table
 
 // TableBuilder accumulates raw rows incrementally (streaming ingestion)
@@ -47,12 +49,15 @@ func NewTableUniverse(rows []Row) (*Table, error) {
 // TableFromCSV ingests group,value records from r. The first column is the
 // group label and the second the numeric value (extra columns are
 // ignored); a header row is skipped automatically when its value column
-// does not parse as a number.
+// does not parse as a number. Large inputs are parsed in parallel shards
+// across all CPUs and merged in file order, so the table is byte-identical
+// to a sequential read.
 func TableFromCSV(r io.Reader) (*Table, error) {
 	return dataset.ReadCSV(r)
 }
 
-// TableFromCSVFile ingests a CSV file by path.
+// TableFromCSVFile ingests a CSV file by path, sharding the parse across
+// all CPUs like TableFromCSV.
 func TableFromCSVFile(path string) (*Table, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -60,4 +65,14 @@ func TableFromCSVFile(path string) (*Table, error) {
 	}
 	defer f.Close()
 	return dataset.ReadCSV(f)
+}
+
+// TableFromCSVWorkers is TableFromCSV with an explicit parallelism bound.
+// Sharded parsing (workers > 1, or 0 for all CPUs) buffers the whole
+// input in memory to split it at record boundaries; workers == 1 streams
+// through the sequential parser instead, with memory proportional to the
+// staged columns only — the right mode for inputs near the machine's
+// memory budget. The produced table is byte-identical in every mode.
+func TableFromCSVWorkers(r io.Reader, workers int) (*Table, error) {
+	return dataset.ReadCSVWorkers(r, workers)
 }
