@@ -12,6 +12,7 @@ import (
 	"io"
 	"testing"
 
+	"repro/internal/bitmap"
 	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -198,7 +199,7 @@ func BenchmarkRoundRobinRun(b *testing.B) {
 }
 
 func BenchmarkBitmapSelect(b *testing.B) {
-	bm := needletail.NewBitmap(1 << 20)
+	bm := bitmap.New(1 << 20)
 	r := xrand.New(2)
 	for i := 0; i < 1<<20; i++ {
 		if r.Float64() < 0.1 {
@@ -235,13 +236,13 @@ func BenchmarkEngineSample(b *testing.B) {
 }
 
 func BenchmarkRLECompress(b *testing.B) {
-	bm := needletail.NewBitmap(1 << 20)
+	bm := bitmap.New(1 << 20)
 	for i := 100_000; i < 400_000; i++ {
 		bm.Set(i)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		needletail.Compress(bm)
+		bitmap.Compress(bm)
 	}
 }
 

@@ -1,5 +1,12 @@
-// Command datagen emits synthetic datasets as CSV (group,value rows) for
-// use with vizsample or external tools.
+// Command datagen emits synthetic datasets as CSV for use with vizsample
+// or external tools. Every emitted file carries a filterable third column
+// next to the group,value pair, declared by the header so ingestion picks
+// it up as an extra column (vizsample -where can compare against it):
+// synthetic kinds emit "aux", a value-correlated companion (aux rises with
+// value, plus noise); the flights kind emits the two flight attributes not
+// chosen as the value, by name (e.g. -attr arrdelay emits
+// airline,arrdelay,elapsed,depdelay — filter long-haul flights with
+// -where "elapsed>=150").
 //
 // Usage:
 //
@@ -33,21 +40,27 @@ func main() {
 	flag.Parse()
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
-	fmt.Fprintln(w, "group,value")
 
 	if *kind == "flights" {
-		err := workload.FlightsRows(*rows, *seed, func(r workload.FlightRow) error {
-			v := r.ArrDelay
-			switch *attr {
-			case "elapsed":
-				v = r.Elapsed
-			case "depdelay":
-				v = r.DepDelay
-			case "arrdelay":
-			default:
-				return fmt.Errorf("unknown attribute %q", *attr)
+		// The chosen attribute is the value column; the other two ride
+		// along as named extra columns so the CSV can be filtered on them.
+		cols := map[string]int{"arrdelay": 0, "elapsed": 1, "depdelay": 2}
+		vi, ok := cols[*attr]
+		if !ok {
+			fatal(fmt.Errorf("unknown attribute %q", *attr))
+		}
+		names := []string{"arrdelay", "elapsed", "depdelay"}
+		extras := make([]string, 0, 2)
+		for _, n := range names {
+			if n != *attr {
+				extras = append(extras, n)
 			}
-			_, err := fmt.Fprintf(w, "%s,%.4f\n", r.Airline, v)
+		}
+		fmt.Fprintf(w, "airline,%s,%s,%s\n", *attr, extras[0], extras[1])
+		err := workload.FlightsRows(*rows, *seed, func(r workload.FlightRow) error {
+			vals := [3]float64{r.ArrDelay, r.Elapsed, r.DepDelay}
+			e1, e2 := cols[extras[0]], cols[extras[1]]
+			_, err := fmt.Fprintf(w, "%s,%.4f,%.4f,%.4f\n", r.Airline, vals[vi], vals[e1], vals[e2])
 			return err
 		})
 		if err != nil {
@@ -55,6 +68,7 @@ func main() {
 		}
 		return
 	}
+	fmt.Fprintln(w, "group,value,aux")
 
 	var kk workload.Kind
 	switch *kind {
@@ -78,7 +92,12 @@ func main() {
 	for _, g := range u.Groups {
 		dg := g.(*dataset.DistGroup)
 		for i := int64(0); i < dg.Size(); i++ {
-			if _, err := fmt.Fprintf(w, "%s,%.4f\n", g.Name(), dg.Draw(rng)); err != nil {
+			v := dg.Draw(rng)
+			// aux correlates positively with the value (ρ well above 0.5
+			// under the uniform scaling), so thresholds on aux select a
+			// value-skewed — i.e. meaningful — subset to filter on.
+			aux := v * (0.75 + 0.5*rng.Float64())
+			if _, err := fmt.Fprintf(w, "%s,%.4f,%.4f\n", g.Name(), v, aux); err != nil {
 				fatal(err)
 			}
 		}

@@ -6,6 +6,7 @@
 //
 //	vizsample -csv data.csv [-delta 0.05] [-resolution 0] [-algo ifocus]
 //	          [-agg avg] [-batch 64] [-workers 0] [-timeout 30s] [-stream]
+//	          [-where "col>=v,col<v"]
 //	vizsample -demo              # run on a built-in synthetic dataset
 //
 // -algo selects the sampling strategy (ifocus | irefine | roundrobin |
@@ -18,9 +19,19 @@
 // factor, -timeout bounds the run via context cancellation, and -stream
 // prints each group the moment its estimate settles.
 //
+// -where restricts the query to the rows matching a comma-separated
+// predicate conjunction: typed comparisons "col OP number" (OP one of
+// < <= > >= == !=; "value" — or the CSV header's value-column name, or a
+// header-declared extra column — names the column) plus group inclusion
+// "group in A|B|C". The exact baseline is filtered identically, so the
+// printed saving compares like with like. The -demo dataset carries an
+// "elapsed" extra column (scheduled flight minutes), so e.g.
+// -where "elapsed>=150" charts the delays of long-haul flights only.
+//
 // The CSV is ingested into a columnar table: the first column is the group
 // label and the second the numeric value; a header row is detected and
-// skipped automatically.
+// skipped automatically, and header fields past the value column declare
+// extra numeric columns that -where can filter on.
 package main
 
 import (
@@ -28,6 +39,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro"
 	"repro/internal/workload"
@@ -48,23 +61,21 @@ func main() {
 		timeout    = flag.Duration("timeout", 0, "abort the query after this long (0 = no limit)")
 		maxDraws   = flag.Int64("maxdraws", 0, "cap total draws for -algo noindex (0 = unlimited; the cap voids the guarantee)")
 		stream     = flag.Bool("stream", false, "print each group the moment its estimate settles")
+		where      = flag.String("where", "", `predicate filter, e.g. "elapsed>=150,value<600" or "group in AA|DL" (comma = AND)`)
 	)
 	flag.Parse()
 
-	var groups []rapidviz.Group
-	var bound float64
-	var err error
+	preds, err := parseWhere(*where)
+	if err != nil {
+		fatal(err)
+	}
+
+	var table *rapidviz.Table
 	switch {
 	case *demo:
-		groups, err = demoGroups(*seed)
+		table, err = demoTable(*seed)
 	case *csvPath != "":
-		// The ingestion builder tracked the value range, so the queries
-		// below need not rescan the columns to infer a bound.
-		var table *rapidviz.Table
 		table, err = rapidviz.TableFromCSVFile(*csvPath)
-		if err == nil {
-			groups, bound = table.Groups(), table.MaxValue()
-		}
 	default:
 		fmt.Fprintln(os.Stderr, "vizsample: need -csv FILE or -demo")
 		os.Exit(2)
@@ -72,6 +83,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// The ingestion builder tracked the value range, so the queries below
+	// need not rescan the columns to infer a bound. (The ingested max also
+	// bounds every filtered subset.)
+	groups, bound := table.Groups(), table.MaxValue()
 
 	q := rapidviz.Query{
 		Delta:       *delta,
@@ -82,6 +97,7 @@ func main() {
 		BatchSize:   *batch,
 		RoundGrowth: *growth,
 		Workers:     *workers,
+		Where:       preds,
 	}
 	switch *algo {
 	case "ifocus":
@@ -145,12 +161,17 @@ func main() {
 		}
 	}
 
-	exact, err := eng.Run(ctx, rapidviz.Query{Algorithm: rapidviz.AlgoScan, Bound: bound}, groups)
+	// The exact baseline carries the same filter, so the reported saving
+	// compares the filtered query against a filtered scan.
+	exact, err := eng.Run(ctx, rapidviz.Query{Algorithm: rapidviz.AlgoScan, Bound: bound, Where: preds}, groups)
 	if err != nil {
 		fatal(err)
 	}
 
 	fmt.Printf("%s/%s (delta=%.3g", *algo, *agg, *delta)
+	if len(preds) > 0 {
+		fmt.Printf(", where %s", *where)
+	}
 	if *resolution > 0 {
 		fmt.Printf(", r=%g", *resolution)
 	}
@@ -162,25 +183,78 @@ func main() {
 	fmt.Print(exact.Render())
 }
 
-// demoGroups builds a small materialized flight-delay dataset.
-func demoGroups(seed uint64) ([]rapidviz.Group, error) {
-	byAirline := map[string][]float64{}
-	var order []string
+// demoTable builds a small materialized flight-delay table. The arrival
+// delay is the aggregated value; the scheduled elapsed minutes ride along
+// as an extra column so -where can filter (e.g. "elapsed>=150" keeps
+// long-haul flights only).
+func demoTable(seed uint64) (*rapidviz.Table, error) {
+	b := rapidviz.NewTableBuilderColumns("arrdelay", "elapsed")
 	err := workload.FlightsRows(200_000, seed, func(r workload.FlightRow) error {
-		if _, ok := byAirline[r.Airline]; !ok {
-			order = append(order, r.Airline)
-		}
-		byAirline[r.Airline] = append(byAirline[r.Airline], r.ArrDelay)
-		return nil
+		return b.AddRow(r.Airline, r.ArrDelay, r.Elapsed)
 	})
 	if err != nil {
 		return nil, err
 	}
-	groups := make([]rapidviz.Group, 0, len(order))
-	for _, a := range order {
-		groups = append(groups, rapidviz.GroupFromValues(a, byAirline[a]))
+	return b.Build()
+}
+
+// whereOps lists the comparison spellings longest-first, so ">=" is tried
+// before ">".
+var whereOps = []struct {
+	text string
+	op   rapidviz.PredicateOp
+}{
+	{">=", rapidviz.OpGE}, {"<=", rapidviz.OpLE}, {"!=", rapidviz.OpNE},
+	{"==", rapidviz.OpEQ}, {">", rapidviz.OpGT}, {"<", rapidviz.OpLT},
+	{"=", rapidviz.OpEQ},
+}
+
+// parseWhere parses the -where mini-language: a comma-separated
+// conjunction of "col OP number" comparisons and "group in A|B|C"
+// inclusion clauses.
+func parseWhere(s string) ([]rapidviz.Predicate, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
 	}
-	return groups, nil
+	var preds []rapidviz.Predicate
+	for _, clause := range strings.Split(s, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(clause, "group in "); ok {
+			var names []string
+			for _, n := range strings.Split(rest, "|") {
+				if n = strings.TrimSpace(n); n != "" {
+					names = append(names, n)
+				}
+			}
+			if len(names) == 0 {
+				return nil, fmt.Errorf(`empty group list in %q`, clause)
+			}
+			preds = append(preds, rapidviz.WhereGroups(names...))
+			continue
+		}
+		matched := false
+		for _, cand := range whereOps {
+			col, valText, ok := strings.Cut(clause, cand.text)
+			if !ok {
+				continue
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(valText), 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad constant in %q: %w", clause, err)
+			}
+			preds = append(preds, rapidviz.Where(strings.TrimSpace(col), cand.op, v))
+			matched = true
+			break
+		}
+		if !matched {
+			return nil, fmt.Errorf(`cannot parse clause %q (want "col>=42" or "group in A|B")`, clause)
+		}
+	}
+	return preds, nil
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -69,6 +70,32 @@ type EngineConfig struct {
 type Engine struct {
 	cfg EngineConfig
 	sem chan struct{}
+
+	// views caches predicate selections: one dataset.View per (table,
+	// canonical predicate fingerprint), so repeated Where queries reuse
+	// the selection vectors and pay the filter scan once. Entries hold
+	// selection state only — every query takes fresh draw state via
+	// View.View() — so cached views are safe to share across concurrent
+	// queries. The cache is bounded: when a store would exceed
+	// maxCachedViews the whole cache is flushed and rebuilt from live
+	// traffic, so neither the selections nor the tables they pin can
+	// accumulate without limit (a service that re-ingests its table
+	// periodically sheds the old table's entries at the next flush).
+	// Lookups are lock-free; viewMu serializes only the store/flush path,
+	// which runs at most once per distinct filter.
+	views     sync.Map // whereKey -> *dataset.View
+	viewMu    sync.Mutex
+	viewCount atomic.Int32
+}
+
+// maxCachedViews bounds the engine's selection cache; overflowing it
+// flushes the cache rather than disabling caching.
+const maxCachedViews = 64
+
+// whereKey identifies one cached selection.
+type whereKey struct {
+	table *dataset.Table
+	fp    string
 }
 
 // NewEngine validates cfg and returns an Engine.
@@ -145,8 +172,8 @@ func (e *Engine) Stream(ctx context.Context, q Query, groups []Group) <-chan Eve
 	ch := make(chan Event, len(groups)+1)
 	go func() {
 		defer close(ch)
-		res, err := e.run(ctx, q, groups, func(i int, est float64, round int) {
-			p := &Partial{Group: groups[i].Name(), Index: i, Estimate: est, Round: round}
+		res, err := e.run(ctx, q, groups, func(name string, i int, est float64, round int) {
+			p := &Partial{Group: name, Index: i, Estimate: est, Round: round}
 			select {
 			case ch <- Event{Partial: p}:
 			case <-ctx.Done():
@@ -162,20 +189,30 @@ func (e *Engine) Stream(ctx context.Context, q Query, groups []Group) <-chan Eve
 }
 
 // run is the one execution path behind Run, Stream, and every deprecated
-// wrapper: normalize and validate the query, acquire a worker slot, build
-// the universe, and dispatch through core.Run.
-func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial func(i int, est float64, round int)) (*Result, error) {
+// wrapper: resolve any Where filter to a (cached) table view, normalize
+// and validate the query, acquire a worker slot, build the universe, and
+// dispatch through core.Run.
+func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial func(name string, i int, est float64, round int)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	// Take a worker slot before normalization: bound inference scans every
-	// materialized group, so it must count against the engine's concurrency
-	// budget, and an already-canceled context must not pay for it.
+	// Take a worker slot before normalization: predicate filtering and
+	// bound inference scan every materialized group, so they must count
+	// against the engine's concurrency budget, and an already-canceled
+	// context must not pay for them.
 	select {
 	case e.sem <- struct{}{}:
 		defer func() { <-e.sem }()
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	}
+
+	if len(q.Where) > 0 {
+		filtered, err := e.whereGroups(q.Where, groups)
+		if err != nil {
+			return nil, err
+		}
+		groups = filtered
 	}
 
 	q, err := e.normalize(q, groups)
@@ -190,7 +227,13 @@ func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial fun
 		return nil, err
 	}
 	if onPartial != nil {
-		spec.Opts.OnPartial = onPartial
+		// Bind names to the groups actually sampled: a Where filter may
+		// have dropped groups, so indices into the caller's slice would be
+		// wrong.
+		run := groups
+		spec.Opts.OnPartial = func(i int, est float64, round int) {
+			onPartial(run[i].Name(), i, est, round)
+		}
 	}
 	// Intra-query fan-out. An explicit Query.Workers is used verbatim (the
 	// user asked for exactly that parallelism). Otherwise exact scans —
@@ -223,6 +266,60 @@ func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial fun
 		return nil, err
 	}
 	return e.result(groups, rr), nil
+}
+
+// whereGroups resolves a Where conjunction against table-backed groups:
+// it validates that the groups are one table's full group set in table
+// order, then returns fresh draw-state groups over the table's filtered
+// view — cached per (table, predicate fingerprint), so only the first
+// query with a given filter pays the selection scan. Planning lives in
+// dataset.Table.Filter: group-inclusion predicates answer from the group
+// index without touching rows; value predicates, which have no
+// precomputed index, fall back to one scan-and-filter pass.
+func (e *Engine) whereGroups(preds []Predicate, groups []Group) ([]Group, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("rapidviz: no groups")
+	}
+	var table *dataset.Table
+	for i, g := range groups {
+		tb, ok := g.(dataset.TableBacked)
+		if !ok {
+			return nil, fmt.Errorf("rapidviz: Where requires table-backed groups (pass Table.Groups or Table.View); group %q (%T) carries no table", g.Name(), g)
+		}
+		if i == 0 {
+			table = tb.Table()
+		} else if tb.Table() != table {
+			return nil, fmt.Errorf("rapidviz: Where requires all groups to come from one table; group %q belongs to another", g.Name())
+		}
+		if tb.GroupIndex() != i {
+			return nil, fmt.Errorf("rapidviz: Where requires the table's full group set in table order; restrict groups with WhereGroups instead of slicing")
+		}
+	}
+	if table.K() != len(groups) {
+		return nil, fmt.Errorf("rapidviz: Where requires the table's full group set (table has %d groups, got %d); restrict groups with WhereGroups instead of slicing", table.K(), len(groups))
+	}
+
+	key := whereKey{table: table, fp: dataset.FingerprintPredicates(preds)}
+	if cached, ok := e.views.Load(key); ok {
+		return cached.(*dataset.View).View(), nil
+	}
+	view, err := table.Filter(preds...)
+	if err != nil {
+		return nil, err
+	}
+	e.viewMu.Lock()
+	if e.viewCount.Load() >= maxCachedViews {
+		e.views.Range(func(k, _ any) bool {
+			e.views.Delete(k)
+			return true
+		})
+		e.viewCount.Store(0)
+	}
+	if _, loaded := e.views.LoadOrStore(key, view); !loaded {
+		e.viewCount.Add(1)
+	}
+	e.viewMu.Unlock()
+	return view.View(), nil
 }
 
 // idleWorkers returns the parallelism currently available to a query —

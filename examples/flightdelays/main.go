@@ -3,7 +3,11 @@
 // synthetic flight-records dataset, answered four ways — exact scan,
 // conventional round-robin sampling, IFOCUS, and IFOCUS with a 1% visual
 // resolution — with partial results streamed over Engine.Stream's channel
-// as groups settle, under a context deadline.
+// as groups settle, under a context deadline. A final filtered query adds
+// the paper's selection-predicate shape: the same GROUP BY restricted to
+// long-haul flights (WHERE ELAPSED >= 150), answered through Query.Where
+// over the table's elapsed column — no re-ingestion, same 1−δ ordering
+// guarantee over the filtered rows.
 //
 //	go run ./examples/flightdelays [-batch 64]
 package main
@@ -27,11 +31,11 @@ func main() {
 	fmt.Printf("generating %d synthetic flight records...\n", rows)
 	// Stream the raw rows into a columnar table: the ingestion layer does
 	// the GROUP BY AIRLINE, and the sampling groups are zero-copy views
-	// over the packed delay column.
-	builder := rapidviz.NewTableBuilder()
+	// over the packed delay column. The scheduled elapsed minutes ride
+	// along as an extra column — never aggregated, only filtered on.
+	builder := rapidviz.NewTableBuilderColumns("arrdelay", "elapsed")
 	err := workload.FlightsRows(rows, 2015, func(r workload.FlightRow) error {
-		builder.Add(r.Airline, r.ArrDelay)
-		return nil
+		return builder.AddRow(r.Airline, r.ArrDelay, r.Elapsed)
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -92,6 +96,19 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// Selection predicates: the same query over long-haul flights only.
+	// Query.Where filters through the table's selection layer (the
+	// elapsed column was ingested alongside the delays), so no second
+	// table is built and airlines with no long-haul flights drop out of
+	// the chart; the ordering guarantee covers the filtered rows.
+	longHaul, err := eng.Run(ctx, rapidviz.Query{
+		BatchSize: *batch,
+		Where:     []rapidviz.Predicate{rapidviz.Where("elapsed", rapidviz.OpGE, 150)},
+	}, groups)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Printf("\nsample complexity (out of %d rows):\n", rows)
 	fmt.Printf("  exact scan       %d\n", exact.TotalSamples)
 	fmt.Printf("  roundrobin       %d (%.2f%%)\n", rr.TotalSamples, pct(rr, exact))
@@ -102,6 +119,10 @@ func main() {
 
 	fmt.Println("\nifocus result (error bars = final confidence interval):")
 	fmt.Print(res.Render())
+
+	fmt.Printf("\nlong-haul flights only (WHERE elapsed >= 150; %d airlines qualify, %d samples):\n",
+		len(longHaul.Names), longHaul.TotalSamples)
+	fmt.Print(longHaul.Render())
 }
 
 func pct(r, exact *rapidviz.Result) float64 {

@@ -1,16 +1,16 @@
-// Package needletail implements the sampling substrate of the paper's §4: a
-// row store with in-memory bitmap indexes that can return a uniformly random
-// tuple satisfying ad-hoc conditions in effectively constant time, plus a
-// simulated device (see the disksim subpackage) that accounts the I/O and
-// CPU costs behind Figure 4 and Table 3.
+// Package bitmap implements the selection-vector machinery shared by both
+// table stores: uncompressed bitmaps with O(log n) rank/select (the
+// constant-time random tuple retrieval of the paper's §4), the word-aligned
+// run-length-compressed form the paper cites for clustered attributes, and
+// the boolean algebra (AND/OR/NOT) that composes group indexes with ad-hoc
+// predicate bitmaps — the same bulk-bitwise selection technique the PIM
+// line of work applies to analytics scans.
 //
-// The index structure mirrors the paper's description: one bitmap per value
-// of each indexed attribute, organized hierarchically so that retrieving the
-// rank-k set bit ("select") takes time logarithmic in the number of rows.
-// Bitmaps compress extremely well for clustered or sparse attributes; the
-// RLE form in this package demonstrates the word-aligned run-length scheme
-// the paper cites.
-package needletail
+// The dense index structure mirrors the paper's description: one bitmap per
+// value of an indexed attribute, organized hierarchically so that
+// retrieving the rank-k set bit ("select") takes time logarithmic in the
+// number of rows.
+package bitmap
 
 import (
 	"fmt"
@@ -35,10 +35,10 @@ type Bitmap struct {
 	super []int64 // cumulative set bits before each superblock
 }
 
-// NewBitmap returns an empty bitmap over n rows.
-func NewBitmap(n int) *Bitmap {
+// New returns an empty bitmap over n rows.
+func New(n int) *Bitmap {
 	if n < 0 {
-		panic("needletail: negative bitmap size")
+		panic("bitmap: negative bitmap size")
 	}
 	return &Bitmap{
 		words: make([]uint64, (n+wordBits-1)/wordBits),
@@ -78,7 +78,7 @@ func (b *Bitmap) Get(i int) bool {
 
 func (b *Bitmap) checkIndex(i int) {
 	if i < 0 || i >= b.n {
-		panic(fmt.Sprintf("needletail: bit %d out of range [0,%d)", i, b.n))
+		panic(fmt.Sprintf("bitmap: bit %d out of range [0,%d)", i, b.n))
 	}
 }
 
@@ -97,6 +97,17 @@ func (b *Bitmap) Count() int {
 		b.count = c
 	}
 	return b.count
+}
+
+// Index forces the lazy rank/select index to be built now. Select and
+// Rank build it on first use, which mutates the bitmap — a data race when
+// two readers arrive at once. Call Index before sharing a finished bitmap
+// across goroutines read-only (the selection layer does, because cached
+// views hand one bitmap to any number of concurrent queries).
+func (b *Bitmap) Index() {
+	if b.super == nil {
+		b.buildIndex()
+	}
 }
 
 // buildIndex computes the superblock cumulative counts.
@@ -129,7 +140,7 @@ func (b *Bitmap) Select(rank int) (int, error) {
 		b.buildIndex()
 	}
 	if rank < 0 || int64(rank) >= b.super[len(b.super)-1] {
-		return 0, fmt.Errorf("needletail: select rank %d out of range [0,%d)", rank, b.super[len(b.super)-1])
+		return 0, fmt.Errorf("bitmap: select rank %d out of range [0,%d)", rank, b.super[len(b.super)-1])
 	}
 	target := int64(rank)
 	// Binary search for the superblock containing the target rank.
@@ -151,7 +162,7 @@ func (b *Bitmap) Select(rank int) (int, error) {
 		}
 		remaining -= c
 	}
-	return 0, fmt.Errorf("needletail: select index corrupt")
+	return 0, fmt.Errorf("bitmap: select index corrupt")
 }
 
 // selectInWord returns the position of the rank-th set bit within a word.
@@ -180,7 +191,7 @@ func (b *Bitmap) Rank(i int) int {
 // And returns the intersection of b and o. Panics if lengths differ.
 func (b *Bitmap) And(o *Bitmap) *Bitmap {
 	b.checkSameLen(o)
-	out := NewBitmap(b.n)
+	out := New(b.n)
 	for i := range b.words {
 		out.words[i] = b.words[i] & o.words[i]
 	}
@@ -191,7 +202,7 @@ func (b *Bitmap) And(o *Bitmap) *Bitmap {
 // Or returns the union of b and o. Panics if lengths differ.
 func (b *Bitmap) Or(o *Bitmap) *Bitmap {
 	b.checkSameLen(o)
-	out := NewBitmap(b.n)
+	out := New(b.n)
 	for i := range b.words {
 		out.words[i] = b.words[i] | o.words[i]
 	}
@@ -202,7 +213,7 @@ func (b *Bitmap) Or(o *Bitmap) *Bitmap {
 // AndNot returns the bits of b not set in o. Panics if lengths differ.
 func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
 	b.checkSameLen(o)
-	out := NewBitmap(b.n)
+	out := New(b.n)
 	for i := range b.words {
 		out.words[i] = b.words[i] &^ o.words[i]
 	}
@@ -212,7 +223,7 @@ func (b *Bitmap) AndNot(o *Bitmap) *Bitmap {
 
 // Not returns the complement of b over its row range.
 func (b *Bitmap) Not() *Bitmap {
-	out := NewBitmap(b.n)
+	out := New(b.n)
 	for i := range b.words {
 		out.words[i] = ^b.words[i]
 	}
@@ -226,7 +237,7 @@ func (b *Bitmap) Not() *Bitmap {
 
 func (b *Bitmap) checkSameLen(o *Bitmap) {
 	if b.n != o.n {
-		panic(fmt.Sprintf("needletail: bitmap length mismatch %d vs %d", b.n, o.n))
+		panic(fmt.Sprintf("bitmap: length mismatch %d vs %d", b.n, o.n))
 	}
 }
 

@@ -1,4 +1,4 @@
-package needletail
+package bitmap
 
 import (
 	"testing"
@@ -8,7 +8,7 @@ import (
 )
 
 func TestBitmapSetGetClear(t *testing.T) {
-	b := NewBitmap(200)
+	b := New(200)
 	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 199} {
 		if b.Get(i) {
 			t.Fatalf("fresh bit %d set", i)
@@ -28,7 +28,7 @@ func TestBitmapSetGetClear(t *testing.T) {
 }
 
 func TestBitmapBoundsPanic(t *testing.T) {
-	b := NewBitmap(10)
+	b := New(10)
 	for _, fn := range []func(){
 		func() { b.Set(10) },
 		func() { b.Get(-1) },
@@ -51,7 +51,7 @@ func TestSelectRankInverse(t *testing.T) {
 	r := xrand.New(1)
 	check := func(nRaw uint16, density uint8) bool {
 		n := 1 + int(nRaw%5000)
-		b := NewBitmap(n)
+		b := New(n)
 		p := 0.02 + float64(density%200)/250
 		var setPos []int
 		for i := 0; i < n; i++ {
@@ -80,7 +80,7 @@ func TestSelectRankInverse(t *testing.T) {
 }
 
 func TestSelectOutOfRange(t *testing.T) {
-	b := NewBitmap(100)
+	b := New(100)
 	b.Set(50)
 	if _, err := b.Select(1); err == nil {
 		t.Fatal("rank past count accepted")
@@ -95,7 +95,7 @@ func TestSelectOutOfRange(t *testing.T) {
 
 func TestSelectAfterMutation(t *testing.T) {
 	// The lazy index must invalidate on writes.
-	b := NewBitmap(1000)
+	b := New(1000)
 	b.Set(10)
 	if pos, _ := b.Select(0); pos != 10 {
 		t.Fatal("select before mutation wrong")
@@ -112,7 +112,7 @@ func TestSelectAfterMutation(t *testing.T) {
 
 func TestBitmapOps(t *testing.T) {
 	n := 300
-	a, b := NewBitmap(n), NewBitmap(n)
+	a, b := New(n), New(n)
 	for i := 0; i < n; i += 2 {
 		a.Set(i)
 	}
@@ -150,11 +150,11 @@ func TestBitmapOpsLengthMismatch(t *testing.T) {
 			t.Fatal("length mismatch accepted")
 		}
 	}()
-	NewBitmap(10).And(NewBitmap(20))
+	New(10).And(New(20))
 }
 
 func TestForEachOrderAndStop(t *testing.T) {
-	b := NewBitmap(500)
+	b := New(500)
 	want := []int{3, 64, 65, 130, 499}
 	for _, i := range want {
 		b.Set(i)
@@ -186,7 +186,7 @@ func TestForEachOrderAndStop(t *testing.T) {
 func TestSelectUniformSampling(t *testing.T) {
 	// Sampling via Select(rand(count)) must be uniform over set bits —
 	// the property random tuple retrieval depends on.
-	b := NewBitmap(1000)
+	b := New(1000)
 	positions := []int{10, 200, 333, 512, 900}
 	for _, p := range positions {
 		b.Set(p)

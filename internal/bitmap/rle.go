@@ -1,8 +1,8 @@
-package needletail
+package bitmap
 
 import "math/bits"
 
-// RLEBitmap is a word-aligned run-length-compressed bitmap in the style of
+// RLE is a word-aligned run-length-compressed bitmap in the style of
 // WAH/EWAH (the compression family the paper cites for NEEDLETAIL's
 // indexes). The encoding alternates two kinds of 64-bit entries:
 //
@@ -15,7 +15,7 @@ import "math/bits"
 // header = 1-bit fill value | 31-bit fill run | 32-bit literal count.
 // This is EWAH's layout and compresses clustered attributes (like a group-by
 // column in insertion order) by orders of magnitude.
-type RLEBitmap struct {
+type RLE struct {
 	stream []uint64
 	n      int // bits covered
 	count  int // set bits
@@ -31,8 +31,8 @@ const (
 )
 
 // Compress encodes a plain bitmap.
-func Compress(b *Bitmap) *RLEBitmap {
-	out := &RLEBitmap{n: b.n, count: b.Count()}
+func Compress(b *Bitmap) *RLE {
+	out := &RLE{n: b.n, count: b.Count()}
 	words := b.words
 	i := 0
 	for i < len(words) {
@@ -76,8 +76,8 @@ func Compress(b *Bitmap) *RLEBitmap {
 }
 
 // Decompress expands back to a plain bitmap.
-func (r *RLEBitmap) Decompress() *Bitmap {
-	b := NewBitmap(r.n)
+func (r *RLE) Decompress() *Bitmap {
+	b := New(r.n)
 	wi := 0
 	for s := 0; s < len(r.stream); {
 		header := r.stream[s]
@@ -105,23 +105,23 @@ func (r *RLEBitmap) Decompress() *Bitmap {
 }
 
 // Len returns the number of rows covered.
-func (r *RLEBitmap) Len() int { return r.n }
+func (r *RLE) Len() int { return r.n }
 
 // Count returns the number of set bits.
-func (r *RLEBitmap) Count() int { return r.count }
+func (r *RLE) Count() int { return r.count }
 
 // CompressedWords returns the size of the encoded stream in 64-bit words,
 // for compression-ratio reporting.
-func (r *RLEBitmap) CompressedWords() int { return len(r.stream) }
+func (r *RLE) CompressedWords() int { return len(r.stream) }
 
 // PlainWords returns the size an uncompressed bitmap of the same coverage
 // would occupy, in 64-bit words.
-func (r *RLEBitmap) PlainWords() int { return (r.n + wordBits - 1) / wordBits }
+func (r *RLE) PlainWords() int { return (r.n + wordBits - 1) / wordBits }
 
 // ForEach calls fn with each set bit position in ascending order; returning
 // false stops the iteration. Iteration works directly on the compressed
 // stream without decompressing.
-func (r *RLEBitmap) ForEach(fn func(pos int) bool) {
+func (r *RLE) ForEach(fn func(pos int) bool) {
 	wi := 0
 	for s := 0; s < len(r.stream); {
 		header := r.stream[s]

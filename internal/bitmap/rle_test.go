@@ -1,4 +1,4 @@
-package needletail
+package bitmap
 
 import (
 	"testing"
@@ -11,7 +11,7 @@ func TestRLERoundTripClustered(t *testing.T) {
 	// A clustered bitmap (one contiguous run of 1s) must compress well and
 	// round-trip exactly.
 	n := 100_000
-	b := NewBitmap(n)
+	b := New(n)
 	for i := 30_000; i < 60_000; i++ {
 		b.Set(i)
 	}
@@ -35,7 +35,7 @@ func TestRLERoundTripProperty(t *testing.T) {
 	r := xrand.New(2)
 	check := func(nRaw uint16, density uint8, clusters uint8) bool {
 		n := 1 + int(nRaw%3000)
-		b := NewBitmap(n)
+		b := New(n)
 		// Mix of random bits and runs to hit literal and fill paths.
 		p := float64(density) / 255
 		for i := 0; i < n; i++ {
@@ -69,13 +69,13 @@ func TestRLERoundTripProperty(t *testing.T) {
 
 func TestRLEEdgeCases(t *testing.T) {
 	// All zeros.
-	z := Compress(NewBitmap(1000))
+	z := Compress(New(1000))
 	if z.Count() != 0 || z.Decompress().Count() != 0 {
 		t.Fatal("all-zero round trip failed")
 	}
 	// All ones, non-word-aligned length.
 	n := 1000
-	b := NewBitmap(n)
+	b := New(n)
 	for i := 0; i < n; i++ {
 		b.Set(i)
 	}
@@ -85,7 +85,7 @@ func TestRLEEdgeCases(t *testing.T) {
 		t.Fatalf("all-ones count %d, want %d", d.Count(), n)
 	}
 	// One bit at the very end.
-	b2 := NewBitmap(129)
+	b2 := New(129)
 	b2.Set(128)
 	if got := Compress(b2).Decompress(); !got.Get(128) || got.Count() != 1 {
 		t.Fatal("final-bit round trip failed")
@@ -95,7 +95,7 @@ func TestRLEEdgeCases(t *testing.T) {
 func TestRLEForEachMatchesPlain(t *testing.T) {
 	r := xrand.New(3)
 	n := 5000
-	b := NewBitmap(n)
+	b := New(n)
 	for i := 0; i < n; i++ {
 		if r.Float64() < 0.1 {
 			b.Set(i)

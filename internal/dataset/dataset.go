@@ -89,6 +89,7 @@ type SliceGroup struct {
 	next int
 
 	mean float64
+	maxv float64
 }
 
 // NewSliceGroup returns a materialized group over the given values.
@@ -97,10 +98,13 @@ func NewSliceGroup(name string, values []float64) *SliceGroup {
 	if len(values) == 0 {
 		panic(fmt.Sprintf("dataset: group %q has no values", name))
 	}
-	g := &SliceGroup{name: name, values: values}
+	g := &SliceGroup{name: name, values: values, maxv: values[0]}
 	sum := 0.0
 	for _, v := range values {
 		sum += v
+		if v > g.maxv {
+			g.maxv = v
+		}
 	}
 	g.mean = sum / float64(len(values))
 	return g
@@ -114,6 +118,10 @@ func (g *SliceGroup) Size() int64 { return int64(len(g.values)) }
 
 // TrueMean returns the exact mean of the values.
 func (g *SliceGroup) TrueMean() float64 { return g.mean }
+
+// MaxValue returns the largest value, tracked at construction so bound
+// bookkeeping (table views, filters) never rescans the column.
+func (g *SliceGroup) MaxValue() float64 { return g.maxv }
 
 // Draw samples uniformly with replacement.
 func (g *SliceGroup) Draw(r *xrand.RNG) float64 {

@@ -165,7 +165,7 @@ func TestBuildTableWorkersShuffledMerge(t *testing.T) {
 			hi := (si + 1) * len(rows) / nshards
 			s := newTableStage()
 			for _, row := range rows[lo:hi] {
-				s.add(row.Group, row.Value)
+				s.add(row.Group, row.Value, nil)
 			}
 			stages[si] = &s
 		}
@@ -271,22 +271,22 @@ func TestTableViewIndependence(t *testing.T) {
 	}
 	v1 := tb.View()
 	v2 := tb.View()
-	if &v1[0].(*SliceGroup).values[0] != &tb.Column(0)[0] {
+	if &v1[0].(*TableGroup).values[0] != &tb.Column(0)[0] {
 		t.Fatal("view copied the column storage")
 	}
 	// Exhaust view 1's group a; view 2 and the table's own groups must be
 	// untouched.
 	r := xrand.New(3)
-	wg := v1[0].(*SliceGroup)
+	wg := v1[0].(*TableGroup)
 	for {
 		if _, ok := wg.DrawWithoutReplacement(r); !ok {
 			break
 		}
 	}
-	if v2[0].(*SliceGroup).next != 0 || tb.Groups()[0].(*SliceGroup).next != 0 {
+	if v2[0].(*TableGroup).next != 0 || tb.Groups()[0].(*TableGroup).next != 0 {
 		t.Fatal("draw state leaked between views")
 	}
-	if v1[0].(*SliceGroup).mean != tb.Groups()[0].(*SliceGroup).mean {
+	if v1[0].(*TableGroup).mean != tb.Groups()[0].(*TableGroup).mean {
 		t.Fatal("view lost the precomputed mean")
 	}
 }

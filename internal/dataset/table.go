@@ -35,7 +35,10 @@ type Row struct {
 
 // Table is a columnar (group, value) store: the values of group i occupy
 // col[offsets[i]:offsets[i+1]], groups ordered by first appearance in the
-// ingested rows. Construct with a TableBuilder, BuildTable, or ReadCSV.
+// ingested rows. A table may additionally carry named extra numeric
+// columns, row-aligned with the value column and packed in the same group
+// order; they exist to be filtered on (Filter / Query.Where), never
+// aggregated. Construct with a TableBuilder, BuildTable, or ReadCSV.
 type Table struct {
 	names   []string
 	col     []float64
@@ -43,6 +46,10 @@ type Table struct {
 	groups  []Group
 	minV    float64
 	maxV    float64
+
+	valueName  string      // ingested name of the value column ("value" default)
+	extraNames []string    // extra column names, in ingestion order
+	extras     [][]float64 // extras[e] is row-aligned with col
 }
 
 // K returns the number of distinct groups.
@@ -68,6 +75,27 @@ func (t *Table) MinValue() float64 { return t.minV }
 // MaxValue returns the largest ingested value.
 func (t *Table) MaxValue() float64 { return t.maxV }
 
+// ValueColumnName returns the ingested name of the aggregated value column
+// ("value" when the source carried no header). Predicates may reference the
+// value column by this name, by "value", or by the empty string.
+func (t *Table) ValueColumnName() string { return t.valueName }
+
+// ExtraColumnNames returns the names of the table's extra numeric columns,
+// in ingestion order. The slice is owned by the table.
+func (t *Table) ExtraColumnNames() []string { return t.extraNames }
+
+// ExtraColumn returns the named extra column, row-aligned with the packed
+// value column (group i's rows occupy the same offsets). The slice aliases
+// table storage; callers must not mutate it.
+func (t *Table) ExtraColumn(name string) ([]float64, bool) {
+	for e, n := range t.extraNames {
+		if n == name {
+			return t.extras[e], true
+		}
+	}
+	return nil, false
+}
+
 // Groups returns one sampling group per distinct label, in first-seen
 // order. The groups are zero-copy views over the table's column and are
 // built once; repeated calls return the same slice. Groups carry
@@ -84,12 +112,40 @@ func (t *Table) Groups() []Group { return t.groups }
 func (t *Table) View() []Group {
 	views := make([]Group, len(t.groups))
 	for i, g := range t.groups {
-		sg := *(g.(*SliceGroup))
-		sg.perm = nil
-		sg.next = 0
-		views[i] = &sg
+		tg := *(g.(*TableGroup))
+		tg.perm = nil
+		tg.next = 0
+		views[i] = &tg
 	}
 	return views
+}
+
+// TableGroup is the concrete group type a Table produces: a zero-copy
+// SliceGroup over the group's packed column segment that also knows its
+// owning table and position, so the engine can resolve a Query.Where
+// filter back to the table's selection layer. It inherits every draw mode
+// SliceGroup supports (batched, without-replacement, scannable).
+type TableGroup struct {
+	SliceGroup
+	table *Table
+	index int
+}
+
+// Table returns the owning table.
+func (g *TableGroup) Table() *Table { return g.table }
+
+// GroupIndex returns the group's position in the table's dictionary.
+func (g *TableGroup) GroupIndex() int { return g.index }
+
+// TableBacked is implemented by groups that can be traced back to a
+// columnar Table — the prerequisite for predicate filtering, which needs
+// the table's columns and group index rather than just the sample stream.
+type TableBacked interface {
+	Group
+	// Table returns the owning table.
+	Table() *Table
+	// GroupIndex returns the group's position in the table's dictionary.
+	GroupIndex() int
 }
 
 // Universe wraps the table's groups with the value bound c. c == 0 infers
@@ -113,19 +169,40 @@ func (t *Table) Universe(c float64) (*Universe, error) {
 
 // TableBuilder accumulates raw (group, value) rows and groups them into a
 // columnar Table on Build. The zero value is not usable; construct with
-// NewTableBuilder.
+// NewTableBuilder (plain group,value rows) or NewTableBuilderColumns
+// (named value column plus extra filterable columns).
 type TableBuilder struct {
 	stage tableStage
 }
 
-// NewTableBuilder returns an empty builder.
-func NewTableBuilder() *TableBuilder {
-	return &TableBuilder{stage: newTableStage()}
+// NewTableBuilder returns an empty builder with no extra columns.
+func NewTableBuilder() *TableBuilder { return NewTableBuilderColumns("value") }
+
+// NewTableBuilderColumns returns an empty builder whose rows carry the
+// named aggregated value column plus one numeric extra per extraName —
+// columns a Filter (Query.Where) can compare against. Rows are added with
+// AddRow, whose extras must match extraNames positionally.
+func NewTableBuilderColumns(valueName string, extraNames ...string) *TableBuilder {
+	return &TableBuilder{stage: newTableStageCols(valueName, extraNames)}
 }
 
-// Add ingests one raw row.
+// Add ingests one raw row with no extras. It panics if the builder
+// declared extra columns — those rows carry more fields; use AddRow.
 func (b *TableBuilder) Add(group string, value float64) {
-	b.stage.add(group, value)
+	if err := b.AddRow(group, value); err != nil {
+		panic(err.Error())
+	}
+}
+
+// AddRow ingests one raw row, extras matching the builder's extra columns
+// positionally.
+func (b *TableBuilder) AddRow(group string, value float64, extras ...float64) error {
+	if len(extras) != len(b.stage.extraNames) {
+		return fmt.Errorf("dataset: row has %d extra values, builder declared %d extra columns %v",
+			len(extras), len(b.stage.extraNames), b.stage.extraNames)
+	}
+	b.stage.add(group, value, extras)
+	return nil
 }
 
 // Len returns the number of rows ingested so far.
@@ -133,41 +210,61 @@ func (b *TableBuilder) Len() int { return b.stage.rows }
 
 // Build packs the accumulated rows into a Table. The per-group staging
 // slices are released; the builder can be reused afterwards (it restarts
-// empty). Negative values are rejected because every algorithm requires
-// values in [0, c].
+// empty, keeping its declared columns). Negative values are rejected
+// because every algorithm requires values in [0, c].
 func (b *TableBuilder) Build() (*Table, error) {
 	t, err := mergeStages([]*tableStage{&b.stage}, 1)
-	*b = *NewTableBuilder()
+	*b = *NewTableBuilderColumns(b.stage.valueName, b.stage.extraNames...)
 	return t, err
 }
 
 // tableStage is the per-shard (and per-builder) staging area: rows grouped
 // by label in first-seen order, with the value-range bookkeeping the final
-// table needs.
+// table needs. Every stage of one ingestion shares the same column schema
+// (value name plus extra names), fixed at construction.
 type tableStage struct {
-	index map[string]int
-	names []string
-	cols  [][]float64
-	rows  int
-	minV  float64
-	maxV  float64
-	neg   bool
-	negV  float64
+	index  map[string]int
+	names  []string
+	cols   [][]float64
+	extras [][][]float64 // [group][extra][row], parallel to cols
+	rows   int
+	minV   float64
+	maxV   float64
+	neg    bool
+	negV   float64
+
+	valueName  string
+	extraNames []string
 }
 
 func newTableStage() tableStage {
-	return tableStage{index: map[string]int{}}
+	return newTableStageCols("value", nil)
 }
 
-func (s *tableStage) add(group string, value float64) {
+func newTableStageCols(valueName string, extraNames []string) tableStage {
+	if valueName == "" {
+		valueName = "value"
+	}
+	return tableStage{index: map[string]int{}, valueName: valueName, extraNames: extraNames}
+}
+
+// add ingests one row; extras must be len(extraNames) long (callers
+// validate — AddRow at the public boundary, the CSV parsers by schema).
+func (s *tableStage) add(group string, value float64, extras []float64) {
 	i, ok := s.index[group]
 	if !ok {
 		i = len(s.names)
 		s.index[group] = i
 		s.names = append(s.names, group)
 		s.cols = append(s.cols, nil)
+		if len(s.extraNames) > 0 {
+			s.extras = append(s.extras, make([][]float64, len(s.extraNames)))
+		}
 	}
 	s.cols[i] = append(s.cols[i], value)
+	for e, v := range extras {
+		s.extras[i][e] = append(s.extras[i][e], v)
+	}
 	if s.rows == 0 || value < s.minV {
 		s.minV = value
 	}
@@ -201,7 +298,13 @@ func mergeStages(stages []*tableStage, workers int) (*Table, error) {
 		}
 	}
 
-	t := &Table{}
+	t := &Table{valueName: stages[0].valueName, extraNames: stages[0].extraNames}
+	for _, s := range stages[1:] {
+		if s.valueName != t.valueName || !equalStrings(s.extraNames, t.extraNames) {
+			return nil, fmt.Errorf("dataset: ingestion shards disagree on column schema (%q%v vs %q%v)",
+				t.valueName, t.extraNames, s.valueName, s.extraNames)
+		}
+	}
 	seeded := false
 	for _, s := range stages {
 		if s.rows == 0 {
@@ -244,6 +347,10 @@ func mergeStages(stages []*tableStage, workers int) (*Table, error) {
 		t.offsets[gi+1] = t.offsets[gi] + n
 	}
 	t.col = make([]float64, total)
+	t.extras = make([][]float64, len(t.extraNames))
+	for e := range t.extras {
+		t.extras[e] = make([]float64, total)
+	}
 	t.groups = make([]Group, len(t.names))
 
 	// Lay out every (shard, local group) segment: walking shards in input
@@ -267,12 +374,33 @@ func mergeStages(stages []*tableStage, workers int) (*Table, error) {
 	// owns a disjoint column slice, so neither fan-out needs locks.
 	par.For(len(segs), workers, func(j int) {
 		sg := segs[j]
-		copy(t.col[sg.dst:], stages[sg.si].cols[sg.li])
+		s := stages[sg.si]
+		copy(t.col[sg.dst:], s.cols[sg.li])
+		for e := range t.extras {
+			copy(t.extras[e][sg.dst:], s.extras[sg.li][e])
+		}
 	})
 	par.For(len(t.names), workers, func(gi int) {
-		t.groups[gi] = NewSliceGroup(t.names[gi], t.col[t.offsets[gi]:t.offsets[gi+1]])
+		t.groups[gi] = &TableGroup{
+			SliceGroup: *NewSliceGroup(t.names[gi], t.col[t.offsets[gi]:t.offsets[gi+1]]),
+			table:      t,
+			index:      gi,
+		}
 	})
 	return t, nil
+}
+
+// equalStrings reports element-wise equality of two string slices.
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // autoShardMinRows and autoShardMinBytes gate auto-parallel ingestion:
@@ -310,7 +438,7 @@ func BuildTableWorkers(rows []Row, workers int) (*Table, error) {
 	if nshards <= 1 {
 		s := newTableStage()
 		for _, row := range rows {
-			s.add(row.Group, row.Value)
+			s.add(row.Group, row.Value, nil)
 		}
 		return mergeStages([]*tableStage{&s}, 1)
 	}
@@ -320,7 +448,7 @@ func BuildTableWorkers(rows []Row, workers int) (*Table, error) {
 		hi := (si + 1) * len(rows) / nshards
 		s := newTableStage()
 		for _, row := range rows[lo:hi] {
-			s.add(row.Group, row.Value)
+			s.add(row.Group, row.Value, nil)
 		}
 		stages[si] = &s
 	})
@@ -328,11 +456,16 @@ func BuildTableWorkers(rows []Row, workers int) (*Table, error) {
 }
 
 // ReadCSV ingests group,value records from r into a Table. The first
-// column is the group label and the second the numeric value; extra
-// columns are ignored. A header row is skipped automatically when its
-// value column does not parse as a number. Records may vary in width but
-// need at least two fields. Large inputs are parsed in parallel shards;
-// the result is identical to a sequential read (see ReadCSVWorkers).
+// column is the group label and the second the numeric value. A header row
+// is detected automatically (its value column does not parse as a number)
+// and fixes the column schema: field 2's name becomes the table's value
+// column name, and every named field past it declares an extra numeric
+// column — row-aligned, filterable via Table.Filter / Query.Where — whose
+// values must then parse on every record. Headerless inputs keep the
+// legacy shape: "value" plus ignored extra fields. Records may vary in
+// width but need at least two fields (plus any header-declared extras).
+// Large inputs are parsed in parallel shards; the result is identical to a
+// sequential read (see ReadCSVWorkers).
 func ReadCSV(r io.Reader) (*Table, error) {
 	return ReadCSVWorkers(r, 0)
 }
@@ -390,6 +523,55 @@ func readCSVData(data []byte, workers int) (*Table, error) {
 	return readCSVSequential(bytes.NewReader(data))
 }
 
+// csvSchema inspects the first CSV record: it is a header iff it carries a
+// value field that does not parse as a number. A header names the value
+// column (field 1) and declares one extra filterable column per non-empty
+// field past it; extraFields maps each declared extra to its CSV field
+// index. Headerless inputs keep the legacy schema — "value" plus ignored
+// extra fields.
+func csvSchema(rec []string) (valueName string, extraNames []string, extraFields []int, isHeader bool) {
+	valueName = "value"
+	if len(rec) < 2 {
+		return valueName, nil, nil, false
+	}
+	if _, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64); err == nil {
+		return valueName, nil, nil, false
+	}
+	if name := strings.TrimSpace(rec[1]); name != "" {
+		valueName = name
+	}
+	for f := 2; f < len(rec); f++ {
+		name := strings.TrimSpace(rec[f])
+		if name == "" {
+			continue
+		}
+		extraNames = append(extraNames, name)
+		extraFields = append(extraFields, f)
+	}
+	return valueName, extraNames, extraFields, true
+}
+
+// csvExtras parses the extra-column fields of one record into dst (reused
+// across records; the stage copies the values out).
+func csvExtras(rec []string, extraFields []int, extraNames []string, line int, dst []float64) ([]float64, error) {
+	if len(extraFields) == 0 {
+		return nil, nil
+	}
+	dst = dst[:0]
+	for e, f := range extraFields {
+		if f >= len(rec) {
+			return nil, fmt.Errorf("dataset: csv record %d has %d fields, but the header declares column %q in field %d",
+				line, len(rec), extraNames[e], f+1)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[f]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv record %d: bad %s value %q", line, extraNames[e], rec[f])
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
 // readCSVSequential is the reference parser: one pass, exact record
 // numbers in errors.
 func readCSVSequential(r io.Reader) (*Table, error) {
@@ -397,6 +579,8 @@ func readCSVSequential(r io.Reader) (*Table, error) {
 	cr.FieldsPerRecord = -1
 	cr.TrimLeadingSpace = true
 	s := newTableStage()
+	var extraFields []int
+	var scratch []float64
 	line := 0
 	for {
 		rec, err := cr.Read()
@@ -407,17 +591,28 @@ func readCSVSequential(r io.Reader) (*Table, error) {
 			return nil, fmt.Errorf("dataset: csv: %w", err)
 		}
 		line++
+		if line == 1 {
+			// The first record fixes the column schema for the whole file.
+			valueName, extraNames, fields, isHeader := csvSchema(rec)
+			s = newTableStageCols(valueName, extraNames)
+			extraFields = fields
+			scratch = make([]float64, 0, len(fields))
+			if isHeader {
+				continue
+			}
+		}
 		if len(rec) < 2 {
 			return nil, fmt.Errorf("dataset: csv record %d has %d fields, want group,value", line, len(rec))
 		}
 		v, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64)
 		if err != nil {
-			if line == 1 {
-				continue // header
-			}
 			return nil, fmt.Errorf("dataset: csv record %d: bad value %q", line, rec[1])
 		}
-		s.add(strings.TrimSpace(rec[0]), v)
+		extras, err := csvExtras(rec, extraFields, s.extraNames, line, scratch)
+		if err != nil {
+			return nil, err
+		}
+		s.add(strings.TrimSpace(rec[0]), v, extras)
 	}
 	return mergeStages([]*tableStage{&s}, 1)
 }
@@ -428,7 +623,9 @@ func readCSVSequential(r io.Reader) (*Table, error) {
 // the canonical error.
 func readCSVSharded(data []byte, workers int) (*Table, bool) {
 	// Replicate the sequential header rule up front: the first record is a
-	// header iff its value column does not parse.
+	// header iff its value column does not parse, and a header fixes the
+	// column schema (value name, extra filterable columns) every shard
+	// stage must share.
 	head := csv.NewReader(bytes.NewReader(data))
 	head.FieldsPerRecord = -1
 	head.TrimLeadingSpace = true
@@ -436,7 +633,8 @@ func readCSVSharded(data []byte, workers int) (*Table, bool) {
 	if err != nil || len(rec) < 2 {
 		return nil, false
 	}
-	if _, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64); err != nil {
+	valueName, extraNames, extraFields, isHeader := csvSchema(rec)
+	if isHeader {
 		data = data[head.InputOffset():]
 	}
 
@@ -467,7 +665,8 @@ func readCSVSharded(data []byte, workers int) (*Table, bool) {
 		cr := csv.NewReader(bytes.NewReader(data[bounds[si]:bounds[si+1]]))
 		cr.FieldsPerRecord = -1
 		cr.TrimLeadingSpace = true
-		s := newTableStage()
+		s := newTableStageCols(valueName, extraNames)
+		scratch := make([]float64, 0, len(extraFields))
 		for {
 			rec, err := cr.Read()
 			if err == io.EOF {
@@ -482,7 +681,12 @@ func readCSVSharded(data []byte, workers int) (*Table, bool) {
 				failed[si] = true
 				return
 			}
-			s.add(strings.TrimSpace(rec[0]), v)
+			extras, err := csvExtras(rec, extraFields, extraNames, 0, scratch)
+			if err != nil {
+				failed[si] = true
+				return
+			}
+			s.add(strings.TrimSpace(rec[0]), v, extras)
 		}
 		stages[si] = &s
 	})

@@ -45,9 +45,9 @@ func TestTableGroupsAreColumnViews(t *testing.T) {
 	if len(groups) != 2 {
 		t.Fatalf("got %d groups", len(groups))
 	}
-	sg, ok := groups[0].(*SliceGroup)
+	sg, ok := groups[0].(*TableGroup)
 	if !ok {
-		t.Fatalf("table group is %T, want *SliceGroup", groups[0])
+		t.Fatalf("table group is %T, want *TableGroup", groups[0])
 	}
 	if sg.TrueMean() != 2 {
 		t.Fatalf("group a mean %v, want 2", sg.TrueMean())

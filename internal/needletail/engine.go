@@ -3,6 +3,7 @@ package needletail
 import (
 	"fmt"
 
+	"repro/internal/bitmap"
 	"repro/internal/dataset"
 	"repro/internal/needletail/disksim"
 	"repro/internal/xrand"
@@ -68,7 +69,7 @@ func (e *Engine) Scan() []float64 {
 // the AND of the group's index bitmap with the predicate bitmap, exactly
 // as the paper describes for WHERE/HAVING clauses. Groups left empty by
 // the predicate are dropped. Materialized tables only.
-func (e *Engine) UniverseWhere(pred *Bitmap) (*dataset.Universe, error) {
+func (e *Engine) UniverseWhere(pred *bitmap.Bitmap) (*dataset.Universe, error) {
 	mt, ok := e.table.(*MaterializedTable)
 	if !ok {
 		return nil, fmt.Errorf("needletail: predicates require a materialized table")
@@ -79,7 +80,7 @@ func (e *Engine) UniverseWhere(pred *Bitmap) (*dataset.Universe, error) {
 		if bm.Count() == 0 {
 			continue
 		}
-		groups = append(groups, &predicateGroup{eng: e, table: mt, bitmap: bm, name: name})
+		groups = append(groups, &predicateGroup{eng: e, table: mt, bits: bm, name: name})
 	}
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("needletail: predicate matches no rows")
@@ -91,10 +92,10 @@ func (e *Engine) UniverseWhere(pred *Bitmap) (*dataset.Universe, error) {
 // bitmap. It supports without-replacement draws via a rank permutation,
 // like engineGroup.
 type predicateGroup struct {
-	eng    *Engine
-	table  *MaterializedTable
-	bitmap *Bitmap
-	name   string
+	eng   *Engine
+	table *MaterializedTable
+	bits  *bitmap.Bitmap
+	name  string
 
 	perm []int32
 	next int
@@ -104,12 +105,12 @@ type predicateGroup struct {
 func (g *predicateGroup) Name() string { return g.name }
 
 // Size returns the number of matching rows.
-func (g *predicateGroup) Size() int64 { return int64(g.bitmap.Count()) }
+func (g *predicateGroup) Size() int64 { return int64(g.bits.Count()) }
 
 // Draw samples one matching row's value.
 func (g *predicateGroup) Draw(r *xrand.RNG) float64 {
 	g.table.device.ChargeSampleCPU(1)
-	pos, err := g.bitmap.Select(r.Intn(g.bitmap.Count()))
+	pos, err := g.bits.Select(r.Intn(g.bits.Count()))
 	if err != nil {
 		panic(err)
 	}
@@ -119,7 +120,7 @@ func (g *predicateGroup) Draw(r *xrand.RNG) float64 {
 // TrueMean scans the matching rows — verification oracle only.
 func (g *predicateGroup) TrueMean() float64 {
 	sum, n := 0.0, 0
-	g.bitmap.ForEach(func(pos int) bool {
+	g.bits.ForEach(func(pos int) bool {
 		page := int64(pos) / int64(g.table.perPage)
 		off := (pos % g.table.perPage) * g.table.rowWidth
 		raw := g.table.pages[page][off+4+8*g.eng.col : off+4+8*g.eng.col+8]
@@ -132,7 +133,7 @@ func (g *predicateGroup) TrueMean() float64 {
 
 // DrawWithoutReplacement consumes a random permutation of matching rows.
 func (g *predicateGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
-	count := g.bitmap.Count()
+	count := g.bits.Count()
 	if g.next >= count {
 		return 0, false
 	}
@@ -147,7 +148,7 @@ func (g *predicateGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
 	rank := int(g.perm[g.next])
 	g.next++
 	g.table.device.ChargeSampleCPU(1)
-	pos, err := g.bitmap.Select(rank)
+	pos, err := g.bits.Select(rank)
 	if err != nil {
 		panic(err)
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/bitmap"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/needletail/disksim"
@@ -270,7 +271,7 @@ func TestUniverseWhereEndToEnd(t *testing.T) {
 		t.Fatal("test setup: predicate did not flip the ordering")
 	}
 	// Empty predicate rejected.
-	if _, err := eng.UniverseWhere(NewBitmap(int(table.NumRows()))); err == nil {
+	if _, err := eng.UniverseWhere(bitmap.New(int(table.NumRows()))); err == nil {
 		t.Fatal("empty predicate accepted")
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"repro/internal/bitmap"
 	"repro/internal/needletail/disksim"
 	"repro/internal/xrand"
 )
@@ -71,8 +72,8 @@ type MaterializedTable struct {
 	dict     []string
 	dictIdx  map[string]int
 	groupOf  []int32 // row -> group code (kept for membership tests)
-	bitmaps  []*Bitmap
-	rleStats []*RLEBitmap // compressed form, for storage reporting
+	bitmaps  []*bitmap.Bitmap
+	rleStats []*bitmap.RLE // compressed form, for storage reporting
 }
 
 // TableBuilder accumulates rows for a MaterializedTable.
@@ -142,16 +143,16 @@ func (b *TableBuilder) Build() (*MaterializedTable, error) {
 		t.pages = append(t.pages, b.buf)
 		b.buf = nil
 	}
-	t.bitmaps = make([]*Bitmap, len(t.dict))
+	t.bitmaps = make([]*bitmap.Bitmap, len(t.dict))
 	for c := range t.bitmaps {
-		t.bitmaps[c] = NewBitmap(int(t.numRows))
+		t.bitmaps[c] = bitmap.New(int(t.numRows))
 	}
 	for row, code := range t.groupOf {
 		t.bitmaps[code].Set(row)
 	}
-	t.rleStats = make([]*RLEBitmap, len(t.dict))
+	t.rleStats = make([]*bitmap.RLE, len(t.dict))
 	for c, bm := range t.bitmaps {
-		t.rleStats[c] = Compress(bm)
+		t.rleStats[c] = bitmap.Compress(bm)
 	}
 	return t, nil
 }
@@ -174,7 +175,7 @@ func (t *MaterializedTable) GroupSize(code int) int64 {
 func (t *MaterializedTable) Device() *disksim.Device { return t.device }
 
 // GroupBitmap exposes a group's index bitmap (for predicate composition).
-func (t *MaterializedTable) GroupBitmap(code int) *Bitmap { return t.bitmaps[code] }
+func (t *MaterializedTable) GroupBitmap(code int) *bitmap.Bitmap { return t.bitmaps[code] }
 
 // CompressedIndexWords reports the total RLE-compressed index size in
 // 64-bit words, alongside the uncompressed size.
@@ -212,7 +213,7 @@ func (t *MaterializedTable) SampleRow(code, col int, rng *xrand.RNG) float64 {
 // SampleRowWhere samples uniformly from the rows of the group that also
 // satisfy the given predicate bitmap (selection predicates, §6.3.3). It
 // returns false if no row qualifies.
-func (t *MaterializedTable) SampleRowWhere(code, col int, pred *Bitmap, rng *xrand.RNG) (float64, bool) {
+func (t *MaterializedTable) SampleRowWhere(code, col int, pred *bitmap.Bitmap, rng *xrand.RNG) (float64, bool) {
 	bm := t.bitmaps[code].And(pred)
 	if bm.Count() == 0 {
 		return 0, false
@@ -228,8 +229,8 @@ func (t *MaterializedTable) SampleRowWhere(code, col int, pred *Bitmap, rng *xra
 // PredicateBitmap builds a bitmap of the rows whose column col satisfies
 // pred. Building it costs one sequential pass, charged to the device
 // (an ad-hoc predicate has no precomputed index).
-func (t *MaterializedTable) PredicateBitmap(col int, pred func(v float64) bool) *Bitmap {
-	bm := NewBitmap(int(t.numRows))
+func (t *MaterializedTable) PredicateBitmap(col int, pred func(v float64) bool) *bitmap.Bitmap {
+	bm := bitmap.New(int(t.numRows))
 	t.device.ChargeSeqBlocks(int64(len(t.pages)))
 	t.device.ChargeHashUpdates(t.numRows)
 	for row := int64(0); row < t.numRows; row++ {

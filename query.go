@@ -120,6 +120,21 @@ type Query struct {
 	// every (group, key) cell. Groups must come from GroupFromCells.
 	SubGroups int
 
+	// Where restricts the query to the rows satisfying every listed
+	// predicate (a conjunction): typed comparisons on the table's value
+	// column or any extra column (Where/WhereValue), plus group-name
+	// inclusion (WhereGroups). Filtered queries require table-backed
+	// groups — pass Table.Groups() or Table.View() — because predicates
+	// evaluate against the table's columns, not the sample stream. The
+	// engine plans each filter once (group inclusion answers from the
+	// group index; value predicates scan-and-filter) and caches the
+	// resulting selection per table, keyed by the predicates' canonical
+	// fingerprint, so repeated filtered queries pay the scan once. Groups
+	// left empty by the filter are dropped from the result; sampling over
+	// the survivors carries the same 1−δ ordering guarantee, with group
+	// sizes taken from the selection cardinalities.
+	Where []Predicate
+
 	// Delta is the permitted probability that a certified ordering is
 	// wrong. Zero means the engine default (0.05). Must be in (0, 1).
 	Delta float64
@@ -183,11 +198,57 @@ type Query struct {
 	MaxDraws int64
 }
 
+// PredicateOp is the comparison operator of a Where predicate.
+type PredicateOp = dataset.PredicateOp
+
+// PredicateOp values.
+const (
+	// OpLT keeps rows whose column is strictly below the constant.
+	OpLT PredicateOp = dataset.OpLT
+	// OpLE keeps rows whose column is at most the constant.
+	OpLE PredicateOp = dataset.OpLE
+	// OpGT keeps rows whose column is strictly above the constant.
+	OpGT PredicateOp = dataset.OpGT
+	// OpGE keeps rows whose column is at least the constant.
+	OpGE PredicateOp = dataset.OpGE
+	// OpEQ keeps rows whose column equals the constant exactly.
+	OpEQ PredicateOp = dataset.OpEQ
+	// OpNE keeps rows whose column differs from the constant.
+	OpNE PredicateOp = dataset.OpNE
+)
+
+// Predicate is one conjunct of a Query.Where filter: a typed comparison
+// on a table column, or a group-name inclusion. Build them with Where,
+// WhereValue, and WhereGroups.
+type Predicate = dataset.Predicate
+
+// Where returns a predicate comparing the named column against a
+// constant. The column is the table's value column (its ingested name,
+// "value", or "") or any extra column declared at ingestion (CSV header
+// fields past the value column, or NewTableBuilderColumns).
+func Where(column string, op PredicateOp, value float64) Predicate {
+	return Predicate{Column: column, Op: op, Value: value}
+}
+
+// WhereValue returns a predicate comparing the aggregated value column
+// against a constant.
+func WhereValue(op PredicateOp, value float64) Predicate {
+	return Predicate{Op: op, Value: value}
+}
+
+// WhereGroups returns a predicate keeping only the named groups. It is
+// answered from the table's group index without reading any rows.
+func WhereGroups(names ...string) Predicate {
+	return Predicate{Groups: names}
+}
+
 // Partial is one streamed partial result: a group whose estimate has
 // settled while the query is still running (§6.2.2). Analysts can start
 // reading the chart before the contentious bars finish.
 type Partial struct {
-	// Group is the settled group's name; Index its position in the input.
+	// Group is the settled group's name; Index its position among the
+	// groups the query actually sampled (for Where queries, the surviving
+	// groups in table order — the same indexing as Result.Names).
 	Group string
 	Index int
 	// Estimate is the group's final estimate.

@@ -33,7 +33,11 @@
 // (AlgoAuto/AlgoIFocus, the AlgoIRefine and AlgoRoundRobin baselines,
 // the exact AlgoScan, or AlgoNoIndex when the group-by attribute has no
 // index). SubGroups queries estimate the cells of GROUP BY X, Z with an
-// index on X only. Engine.Run honors context cancellation and deadlines
+// index on X only. Queries over table-backed groups can carry a Where
+// filter — typed comparisons on the table's columns plus group-name
+// inclusion — answered through per-group selection vectors with the same
+// ordering guarantee over the filtered rows. Engine.Run honors context
+// cancellation and deadlines
 // between sampling rounds; Engine.Stream delivers each group's estimate
 // over a channel the moment it settles. Engines are safe for concurrent
 // use and bound their own parallelism, so one engine can serve heavy
@@ -135,11 +139,11 @@ func (o Options) query() Query {
 }
 
 // partial adapts the legacy callback to the engine's internal hook.
-func (o Options) partial(groups []Group) func(i int, est float64, round int) {
+func (o Options) partial() func(name string, i int, est float64, round int) {
 	if o.OnPartial == nil {
 		return nil
 	}
-	return func(i int, est float64, round int) { o.OnPartial(groups[i].Name(), est) }
+	return func(name string, i int, est float64, round int) { o.OnPartial(name, est) }
 }
 
 // Result reports a run: per-group estimates plus sampling cost.
@@ -209,7 +213,7 @@ func (r *Result) RenderTrend() string { return viz.TrendLine(r.Names, r.Estimate
 //
 // Deprecated: use Engine.Run with a zero Query (plus Delta/Bound/Seed).
 func Order(groups []Group, o Options) (*Result, error) {
-	return DefaultEngine().run(context.Background(), o.query(), groups, o.partial(groups))
+	return DefaultEngine().run(context.Background(), o.query(), groups, o.partial())
 }
 
 // RoundRobin runs the conventional stratified-sampling baseline under the
@@ -220,7 +224,7 @@ func Order(groups []Group, o Options) (*Result, error) {
 func RoundRobin(groups []Group, o Options) (*Result, error) {
 	q := o.query()
 	q.Algorithm = AlgoRoundRobin
-	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
+	return DefaultEngine().run(context.Background(), q, groups, o.partial())
 }
 
 // Refine runs the interval-halving IREFINE variant: correct, simpler to
@@ -230,7 +234,7 @@ func RoundRobin(groups []Group, o Options) (*Result, error) {
 func Refine(groups []Group, o Options) (*Result, error) {
 	q := o.query()
 	q.Algorithm = AlgoIRefine
-	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
+	return DefaultEngine().run(context.Background(), q, groups, o.partial())
 }
 
 // Exact computes the true averages by scanning every value of every group
@@ -252,7 +256,7 @@ func Exact(groups []Group, o Options) (*Result, error) {
 func Trend(groups []Group, o Options) (*Result, error) {
 	q := o.query()
 	q.Guarantee = GuaranteeTrend
-	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
+	return DefaultEngine().run(context.Background(), q, groups, o.partial())
 }
 
 // TopTResult extends Result with the top-t selection.
@@ -274,7 +278,7 @@ func TopT(groups []Group, t int, o Options) (*TopTResult, error) {
 	q := o.query()
 	q.Guarantee = GuaranteeTopT
 	q.T = t
-	res, err := DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
+	res, err := DefaultEngine().run(context.Background(), q, groups, o.partial())
 	if err != nil {
 		return nil, err
 	}
@@ -290,7 +294,7 @@ func OrderWithValues(groups []Group, maxErr float64, o Options) (*Result, error)
 	q := o.query()
 	q.Guarantee = GuaranteeValues
 	q.MaxError = maxErr
-	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
+	return DefaultEngine().run(context.Background(), q, groups, o.partial())
 }
 
 // OrderAllowingMistakes terminates as soon as a fraction of at least
@@ -304,7 +308,7 @@ func OrderAllowingMistakes(groups []Group, correctPairs float64, o Options) (*Re
 	q := o.query()
 	q.Guarantee = GuaranteeMistakes
 	q.CorrectPairs = correctPairs
-	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
+	return DefaultEngine().run(context.Background(), q, groups, o.partial())
 }
 
 // Sum estimates per-group SUMs (rather than averages) with the ordering
@@ -315,5 +319,5 @@ func OrderAllowingMistakes(groups []Group, correctPairs float64, o Options) (*Re
 func Sum(groups []Group, o Options) (*Result, error) {
 	q := o.query()
 	q.Aggregate = AggSum
-	return DefaultEngine().run(context.Background(), q, groups, o.partial(groups))
+	return DefaultEngine().run(context.Background(), q, groups, o.partial())
 }

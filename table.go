@@ -19,12 +19,30 @@ type Row = dataset.Row
 // share the packed storage but carry independent draw state.
 type Table = dataset.Table
 
+// TableView is a predicate-filtered view of a Table, produced by
+// Table.Filter: the surviving groups restricted to their selected rows,
+// sharing the table's packed columns. Engine queries normally filter via
+// Query.Where (which plans and caches views internally); use Filter
+// directly when you want to inspect a selection — its cardinalities,
+// value bound, surviving groups — or reuse one across engines.
+type TableView = dataset.View
+
 // TableBuilder accumulates raw rows incrementally (streaming ingestion)
-// and groups them into a Table on Build. Construct with NewTableBuilder.
+// and groups them into a Table on Build. Construct with NewTableBuilder,
+// or NewTableBuilderColumns for rows that carry extra filterable columns.
 type TableBuilder = dataset.TableBuilder
 
 // NewTableBuilder returns an empty streaming ingestion builder.
 func NewTableBuilder() *TableBuilder { return dataset.NewTableBuilder() }
+
+// NewTableBuilderColumns returns a streaming ingestion builder whose rows
+// carry a named aggregated value column plus one numeric extra column per
+// extraName. Extra columns are never aggregated; they exist for
+// Query.Where predicates (Where("dist", OpGE, 500)). Add rows with
+// TableBuilder.AddRow, whose extras match extraNames positionally.
+func NewTableBuilderColumns(valueName string, extraNames ...string) *TableBuilder {
+	return dataset.NewTableBuilderColumns(valueName, extraNames...)
+}
 
 // NewTableUniverse ingests raw (group, value) rows into a columnar table,
 // grouping them by label in first-seen order. It is the one-call path from
