@@ -33,6 +33,7 @@ func main() {
 		seed    = flag.Uint64("seed", 0, "override base seed")
 		base    = flag.Int64("base", 0, "override base dataset rows")
 		workers = flag.Int("workers", 0, "goroutines drawing per-group blocks each sampling round (0/1 = sequential; identical results at any value)")
+		bound   = flag.String("bound", "", "confidence bound for every run: hoeffding (default) | bernstein | bernstein-finite")
 		timeout = flag.Duration("timeout", 0, "abort the whole run after this long (0 = no limit)")
 	)
 	flag.Parse()
@@ -60,6 +61,7 @@ func main() {
 	if *workers > 0 {
 		s.Workers = *workers
 	}
+	s.Bound = *bound
 	if *sizes != "" {
 		s.Sizes = nil
 		for _, tok := range strings.Split(*sizes, ",") {

@@ -5,9 +5,16 @@
 // Usage:
 //
 //	vizsample -csv data.csv [-delta 0.05] [-resolution 0] [-algo ifocus]
-//	          [-agg avg] [-batch 64] [-workers 0] [-timeout 30s] [-stream]
-//	          [-where "col>=v,col<v"]
+//	          [-agg avg] [-bound hoeffding] [-batch 64] [-workers 0]
+//	          [-timeout 30s] [-stream] [-where "col>=v,col<v"]
 //	vizsample -demo              # run on a built-in synthetic dataset
+//
+// -bound picks the concentration inequality behind the confidence
+// intervals: hoeffding (the paper's schedule, default), bernstein
+// (variance-adaptive empirical-Bernstein — per-group intervals that
+// shrink with the observed spread, typically several-fold fewer samples
+// on low-variance columns), or bernstein-finite (bernstein plus a
+// finite-population correction).
 //
 // -algo selects the sampling strategy (ifocus | irefine | roundrobin |
 // scan | noindex), -agg the aggregate (avg | sum | count), -batch the
@@ -54,6 +61,7 @@ func main() {
 		resolution = flag.Float64("resolution", 0, "visual resolution r (0 = exact ordering)")
 		algo       = flag.String("algo", "ifocus", "ifocus | irefine | roundrobin | scan | noindex")
 		agg        = flag.String("agg", "avg", "avg | sum | count")
+		boundKind  = flag.String("bound", "hoeffding", "confidence bound: hoeffding | bernstein | bernstein-finite (variance-adaptive bounds need far fewer samples on low-spread data)")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		batch      = flag.Int("batch", 0, "samples per contentious group per round (0/1 = paper-exact scalar rounds)")
 		workers    = flag.Int("workers", 0, "goroutines drawing per-group blocks each round (0 = all idle engine workers; identical results at any value)")
@@ -89,15 +97,16 @@ func main() {
 	groups, bound := table.Groups(), table.MaxValue()
 
 	q := rapidviz.Query{
-		Delta:       *delta,
-		Resolution:  *resolution,
-		Bound:       bound,
-		Seed:        *seed,
-		MaxDraws:    *maxDraws,
-		BatchSize:   *batch,
-		RoundGrowth: *growth,
-		Workers:     *workers,
-		Where:       preds,
+		Delta:           *delta,
+		Resolution:      *resolution,
+		Bound:           bound,
+		ConfidenceBound: *boundKind,
+		Seed:            *seed,
+		MaxDraws:        *maxDraws,
+		BatchSize:       *batch,
+		RoundGrowth:     *growth,
+		Workers:         *workers,
+		Where:           preds,
 	}
 	switch *algo {
 	case "ifocus":
@@ -143,8 +152,8 @@ func main() {
 			switch {
 			case ev.Partial != nil:
 				settled++
-				fmt.Printf("  settled %2d/%d: %-12s %.3f (round %d)\n",
-					settled, len(groups), ev.Partial.Group, ev.Partial.Estimate, ev.Partial.Round)
+				fmt.Printf("  settled %2d/%d: %-12s %.3f ±%.3f (round %d)\n",
+					settled, len(groups), ev.Partial.Group, ev.Partial.Estimate, ev.Partial.HalfWidth, ev.Partial.Round)
 			case ev.Err != nil:
 				fatal(ev.Err)
 			default:
@@ -169,6 +178,9 @@ func main() {
 	}
 
 	fmt.Printf("%s/%s (delta=%.3g", *algo, *agg, *delta)
+	if *boundKind != "" && *boundKind != "hoeffding" {
+		fmt.Printf(", bound=%s", *boundKind)
+	}
 	if len(preds) > 0 {
 		fmt.Printf(", where %s", *where)
 	}

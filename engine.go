@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/xrand"
@@ -172,8 +173,8 @@ func (e *Engine) Stream(ctx context.Context, q Query, groups []Group) <-chan Eve
 	ch := make(chan Event, len(groups)+1)
 	go func() {
 		defer close(ch)
-		res, err := e.run(ctx, q, groups, func(name string, i int, est float64, round int) {
-			p := &Partial{Group: name, Index: i, Estimate: est, Round: round}
+		res, err := e.run(ctx, q, groups, func(name string, i int, est float64, round int, eps float64) {
+			p := &Partial{Group: name, Index: i, Estimate: est, Round: round, HalfWidth: eps}
 			select {
 			case ch <- Event{Partial: p}:
 			case <-ctx.Done():
@@ -192,7 +193,7 @@ func (e *Engine) Stream(ctx context.Context, q Query, groups []Group) <-chan Eve
 // wrapper: resolve any Where filter to a (cached) table view, normalize
 // and validate the query, acquire a worker slot, build the universe, and
 // dispatch through core.Run.
-func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial func(name string, i int, est float64, round int)) (*Result, error) {
+func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial func(name string, i int, est float64, round int, eps float64)) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -231,8 +232,8 @@ func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial fun
 		// have dropped groups, so indices into the caller's slice would be
 		// wrong.
 		run := groups
-		spec.Opts.OnPartial = func(i int, est float64, round int) {
-			onPartial(run[i].Name(), i, est, round)
+		spec.Opts.OnPartial = func(i int, est float64, round int, eps float64) {
+			onPartial(run[i].Name(), i, est, round, eps)
 		}
 	}
 	// Intra-query fan-out. An explicit Query.Workers is used verbatim (the
@@ -417,6 +418,12 @@ func (e *Engine) normalize(q Query, groups []Group) (Query, error) {
 	if q.RoundGrowth != 0 && !(q.RoundGrowth >= 1 && !math.IsInf(q.RoundGrowth, 1)) {
 		return q, fmt.Errorf("rapidviz: RoundGrowth must be 0 or a finite value >= 1, got %v", q.RoundGrowth)
 	}
+	kind, err := conc.ParseKind(q.ConfidenceBound)
+	if err != nil {
+		return q, fmt.Errorf("rapidviz: ConfidenceBound %q is not one of %q, %q, %q",
+			q.ConfidenceBound, BoundHoeffding, BoundBernstein, BoundBernsteinFinite)
+	}
+	q.ConfidenceBound = string(kind)
 	switch q.Guarantee {
 	case GuaranteeOrder, GuaranteeTrend:
 	case GuaranteeTopT:
@@ -444,6 +451,9 @@ func (e *Engine) normalize(q Query, groups []Group) (Query, error) {
 	if q.SubGroups > 0 {
 		if q.Aggregate != AggAvg || q.Guarantee != GuaranteeOrder {
 			return q, fmt.Errorf("rapidviz: SubGroups queries estimate AVG cells under the ordering guarantee only")
+		}
+		if q.ConfidenceBound != BoundHoeffding {
+			return q, fmt.Errorf("rapidviz: SubGroups queries support the default %q bound only (cells are discovered as tuples land, so no per-cell moments exist); got %q", BoundHoeffding, q.ConfidenceBound)
 		}
 		for _, g := range groups {
 			cg, ok := g.(CellGroup)
@@ -539,6 +549,20 @@ func (e *Engine) spec(q Query, u *dataset.Universe, groups []Group) (core.Spec, 
 	opts.MaxRounds = q.MaxRounds
 	opts.BatchSize = q.BatchSize
 	opts.RoundGrowth = q.RoundGrowth
+	opts.Bound = conc.Kind(q.ConfidenceBound)
+	if q.OnRound != nil {
+		hook := q.OnRound
+		opts.Tracer = core.GroupTracerFunc(func(m int, eps float64, epsByGroup []float64, active []bool, estimates []float64, total int64) {
+			hook(RoundTrace{
+				Round:         m,
+				Epsilon:       eps,
+				GroupEpsilons: epsByGroup,
+				Active:        active,
+				Estimates:     estimates,
+				TotalSamples:  total,
+			})
+		})
+	}
 
 	spec := core.Spec{
 		Algorithm:    q.Algorithm,

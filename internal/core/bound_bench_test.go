@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/conc"
+	"repro/internal/workload"
+	"repro/internal/xrand"
+)
+
+// BenchmarkBoundTermination measures samples-to-termination (the paper's
+// sample complexity C, reported as the samples/run metric) for the
+// Hoeffding schedule vs the empirical-Bernstein bound on the datagen
+// workload families at both ends of the spread spectrum:
+//
+//   - low-variance: truncnorm with σ=2 — group spreads are a sliver of the
+//     [0,100] domain, so the variance-oblivious Hoeffding width is pure
+//     waste and Bernstein's acceptance bar is ≥2x fewer samples.
+//   - high-variance: bernoulli ({0,100} two-point groups, the worst case
+//     the Hoeffding bound is tight for) — Bernstein's second-order term
+//     makes it at best comparable here, which the artifact records too.
+//
+// Wall-clock time also improves with the sample count, but the recorded
+// samples/run metric is the advertised comparison: it is deterministic per
+// seed and independent of the host.
+func BenchmarkBoundTermination(b *testing.B) {
+	workloads := []struct {
+		name string
+		cfg  workload.Config
+	}{
+		{"lowvar", workload.Config{Kind: workload.TruncNorm, K: 10, TotalRows: 10_000_000, StdDev: 2, Seed: 7}},
+		{"highvar", workload.Config{Kind: workload.BernoulliKind, K: 10, TotalRows: 10_000_000, Seed: 7}},
+	}
+	for _, wl := range workloads {
+		for _, kind := range []conc.Kind{conc.KindHoeffding, conc.KindBernstein} {
+			b.Run(fmt.Sprintf("%s/%s", wl.name, kind), func(b *testing.B) {
+				u, err := workload.Virtual(wl.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := DefaultOptions()
+				opts.Bound = kind
+				opts.BatchSize = 16
+				opts.MaxRounds = 1 << 22
+				var samples, runs int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := IFocus(u, xrand.New(uint64(i)+1), opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Capped {
+						b.Fatal("benchmark run hit the round cap")
+					}
+					samples += res.TotalSamples
+					runs++
+				}
+				b.ReportMetric(float64(samples)/float64(runs), "samples/run")
+			})
+		}
+	}
+}

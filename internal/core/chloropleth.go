@@ -114,7 +114,7 @@ func Chloropleth(u *dataset.Universe, rng *xrand.RNG, adj Adjacency, opts Option
 				}
 			}
 			for _, i := range toSettle {
-				lp.settle(i, lp.eps, true)
+				lp.settle(i, lp.groupEps(i), true)
 			}
 			lp.resolutionExit()
 		},

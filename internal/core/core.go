@@ -42,6 +42,18 @@ type Options struct {
 	// paper sets κ=1 in all experiments (footnote †); values slightly above
 	// 1 (e.g. 1.01) behave near-identically.
 	Kappa float64
+	// Bound selects the concentration inequality behind every confidence
+	// radius. Empty (or conc.KindHoeffding) keeps the paper's anytime
+	// Hoeffding/Serfling schedule: one shared equal-width ε per round,
+	// bit-for-bit the behavior from before bounds became pluggable.
+	// conc.KindBernstein and conc.KindBernsteinFinite switch to
+	// variance-adaptive empirical-Bernstein radii computed per group from
+	// incrementally maintained moments (Welford count/mean/M2 in the
+	// sampler accounting layer — single-pass, no rescans); radii then
+	// differ across groups, so every settle decision routes through the
+	// general unequal-width interval sweep. Low-spread groups separate
+	// with far fewer samples; the guarantee is unchanged.
+	Bound conc.Kind
 	// WithReplacement selects sampling with replacement (§3.6). The default
 	// (false) samples without replacement and uses the Hoeffding–Serfling
 	// finite-population correction; with replacement the correction is
@@ -88,9 +100,11 @@ type Options struct {
 	Tracer Tracer
 	// OnPartial, when non-nil, is invoked the moment a group's estimate
 	// settles (it becomes inactive), implementing the partial-results
-	// extension of §6.2.2. Arguments are the group index, its estimate, and
-	// the round at which it settled.
-	OnPartial func(group int, estimate float64, round int)
+	// extension of §6.2.2. Arguments are the group index, its estimate,
+	// the round at which it settled, and the confidence half-width its
+	// interval was frozen at — per group under variance-adaptive bounds,
+	// the shared ε under the default schedule.
+	OnPartial func(group int, estimate float64, round int, eps float64)
 	// Ctx, when non-nil, is polled once per sampling round: the run aborts
 	// with Ctx.Err() as soon as the context is canceled or its deadline
 	// passes. A canceled run returns no result.
@@ -136,6 +150,11 @@ func (o *Options) validate(u *dataset.Universe) error {
 	if o.Kappa < 1 {
 		return fmt.Errorf("core: kappa must be >= 1, got %v", o.Kappa)
 	}
+	kind, err := conc.ParseKind(string(o.Bound))
+	if err != nil {
+		return err
+	}
+	o.Bound = kind
 	if o.HeuristicFactor == 0 {
 		o.HeuristicFactor = 1
 	}
@@ -165,17 +184,45 @@ func (o *Options) validate(u *dataset.Universe) error {
 // Tracer observes algorithm execution round by round.
 type Tracer interface {
 	// OnRound is called after each sampling round with the round number m,
-	// the current interval half-width eps, the active flags, the current
-	// estimates, and the cumulative sample count.
+	// the current interval half-width eps (the widest live radius when
+	// per-group widths differ), the active flags, the current estimates,
+	// and the cumulative sample count.
 	OnRound(m int, eps float64, active []bool, estimates []float64, totalSamples int64)
 }
 
-// TracerFunc adapts a function to the Tracer interface.
+// GroupTracer extends Tracer with the per-group interval half-widths:
+// active groups report their live radius (all equal to eps under the
+// default schedule, per-group under variance-adaptive bounds), settled
+// groups the width their interval was frozen at. Tracers implementing it
+// receive OnRoundGroups instead of OnRound. The epsByGroup slice is reused
+// between rounds; implementations must copy it to retain it.
+type GroupTracer interface {
+	Tracer
+	OnRoundGroups(m int, eps float64, epsByGroup []float64, active []bool, estimates []float64, totalSamples int64)
+}
+
+// TracerFunc adapts a function with the original scalar-eps signature to
+// the Tracer interface, keeping every pre-pluggable-bound tracer working
+// unchanged; per-group widths go to GroupTracerFunc instead.
 type TracerFunc func(m int, eps float64, active []bool, estimates []float64, totalSamples int64)
 
 // OnRound implements Tracer.
 func (f TracerFunc) OnRound(m int, eps float64, active []bool, estimates []float64, totalSamples int64) {
 	f(m, eps, active, estimates, totalSamples)
+}
+
+// GroupTracerFunc adapts a function to the GroupTracer interface.
+type GroupTracerFunc func(m int, eps float64, epsByGroup []float64, active []bool, estimates []float64, totalSamples int64)
+
+// OnRound implements Tracer: the adapter for algorithms (or rounds) that
+// report only the scalar width — epsByGroup arrives nil.
+func (f GroupTracerFunc) OnRound(m int, eps float64, active []bool, estimates []float64, totalSamples int64) {
+	f(m, eps, nil, active, estimates, totalSamples)
+}
+
+// OnRoundGroups implements GroupTracer.
+func (f GroupTracerFunc) OnRoundGroups(m int, eps float64, epsByGroup []float64, active []bool, estimates []float64, totalSamples int64) {
+	f(m, eps, epsByGroup, active, estimates, totalSamples)
 }
 
 // Result reports the outcome of a sampling run.
@@ -292,6 +339,16 @@ func newSchedule(u *dataset.Universe, opts *Options) *conc.Schedule {
 		n = u.MaxSize()
 	}
 	return conc.MustSchedule(u.C, u.K(), opts.Delta, opts.Kappa, n)
+}
+
+// newRunBound builds the pluggable per-group bound for a run, or nil for
+// the default Hoeffding schedule — whose shared-ε fast path the round
+// driver keeps exactly as it was, bit for bit.
+func newRunBound(u *dataset.Universe, opts *Options) conc.Bound {
+	if opts.Bound == "" || opts.Bound == conc.KindHoeffding {
+		return nil
+	}
+	return conc.MustBound(opts.Bound, u.C, u.K(), opts.Delta, opts.Kappa)
 }
 
 // maxActiveSize returns max_{i active} n_i, the population bound Algorithm 1

@@ -92,6 +92,15 @@ type roundLoop struct {
 	sampler *dataset.Sampler
 	algo    roundAlgo
 
+	// bound is the pluggable per-group bound, nil under the default
+	// Hoeffding schedule. When set, epsG holds each group's live radius
+	// (recomputed after every draw phase from its own count and moments)
+	// and every settle decision routes through the general unequal-width
+	// interval sweep; lp.eps then tracks the widest live radius for the
+	// scalar tracer/result fields.
+	bound conc.Bound
+	epsG  []float64
+
 	k         int
 	estimates []float64 // running means
 	active    []bool
@@ -111,6 +120,9 @@ type roundLoop struct {
 	drawIdx []int       // groups drawing this round, in index order
 	drawN   []int       // matching per-group block sizes
 	bufs    [][]float64 // per-worker block draw buffers
+
+	ivsBuf   []interval // scratch for the unequal-width sweep
+	traceEps []float64  // scratch per-group widths handed to GroupTracer
 }
 
 // newRoundLoop builds the loop state. opts must already be validated. The
@@ -124,11 +136,26 @@ func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo round
 	if workers > k {
 		workers = k
 	}
+	sampler := dataset.NewStreamSampler(u, rng.Uint64(), !opts.WithReplacement)
+	bound := newRunBound(u, opts)
+	var epsG []float64
+	if bound != nil {
+		epsG = make([]float64, k)
+		if bound.NeedsMoments() {
+			// Native draws fold straight into the sampler's per-group
+			// moments; algorithms with a transform hook (drawOne) observe
+			// the transformed values from the draw phase instead, so the
+			// moments describe the variable actually being estimated.
+			sampler.EnableMoments(algo.drawOne == nil)
+		}
+	}
 	return &roundLoop{
 		u:         u,
 		opts:      opts,
 		sched:     newSchedule(u, opts),
-		sampler:   dataset.NewStreamSampler(u, rng.Uint64(), !opts.WithReplacement),
+		sampler:   sampler,
+		bound:     bound,
+		epsG:      epsG,
 		algo:      algo,
 		k:         k,
 		estimates: make([]float64, k),
@@ -171,17 +198,22 @@ func (lp *roundLoop) run() error {
 		}
 		lp.m++
 		fresh := lp.blockSize()
-		var maxN int64
-		if !lp.opts.WithReplacement {
-			if lp.algo.fixedMaxN {
-				maxN = lp.u.MaxSize()
-			} else {
-				maxN = maxActiveSize(lp.u, lp.active)
+		if lp.bound == nil {
+			var maxN int64
+			if !lp.opts.WithReplacement {
+				if lp.algo.fixedMaxN {
+					maxN = lp.u.MaxSize()
+				} else {
+					maxN = maxActiveSize(lp.u, lp.active)
+				}
 			}
+			lp.eps = lp.sched.EpsilonN(lp.cum+fresh, maxN) / lp.opts.HeuristicFactor
 		}
-		lp.eps = lp.sched.EpsilonN(lp.cum+fresh, maxN) / lp.opts.HeuristicFactor
 		lp.drawRound(fresh)
 		lp.cum += fresh
+		if lp.bound != nil {
+			lp.updateRadii()
+		}
 		if lp.algo.afterDraws != nil {
 			lp.algo.afterDraws(lp)
 		}
@@ -205,12 +237,46 @@ func (lp *roundLoop) seed() {
 	fresh := lp.blockSize()
 	lp.drawRound(fresh)
 	lp.cum = fresh
+	if lp.bound != nil {
+		lp.updateRadii()
+	}
 	if lp.algo.afterDraws != nil {
 		lp.algo.afterDraws(lp)
 	}
 	if lp.algo.seedTrace {
-		lp.trace(1, lp.sched.Epsilon(lp.cum)/lp.opts.HeuristicFactor)
+		eps := lp.eps
+		if lp.bound == nil {
+			eps = lp.sched.Epsilon(lp.cum) / lp.opts.HeuristicFactor
+		}
+		lp.trace(1, eps)
 	}
+}
+
+// updateRadii recomputes the live per-group radii from each group's own
+// draw count, population, and incrementally maintained moments, then
+// refreshes lp.eps to the widest live radius — the scalar the tracer,
+// Result.FinalEpsilon, and round-cap settles see. Per-group bounds consume
+// each group's own n_i directly, where the shared schedule had to feed one
+// max_{i∈A} n_i to every group. Only non-settled groups are touched
+// (drained ones included: their frozen-in-place intervals still take part
+// in other groups' isolation checks).
+func (lp *roundLoop) updateRadii() {
+	maxEps := 0.0
+	for i := 0; i < lp.k; i++ {
+		if !lp.active[i] {
+			continue
+		}
+		var n int64
+		if !lp.opts.WithReplacement {
+			n = lp.u.Groups[i].Size()
+		}
+		eps := lp.bound.Radius(int(lp.sampler.Count(i)), n, lp.sampler.MomentsFor(i)) / lp.opts.HeuristicFactor
+		lp.epsG[i] = eps
+		if eps > maxEps {
+			maxEps = eps
+		}
+	}
+	lp.eps = maxEps
 }
 
 // drawRound draws up to fresh samples from every active, undrained group,
@@ -276,6 +342,7 @@ func (lp *roundLoop) drawGroup(w, i, n int) {
 		var x float64
 		if lp.algo.drawOne != nil {
 			x = lp.algo.drawOne(i)
+			lp.sampler.Observe(i, x)
 		} else {
 			x = lp.sampler.Draw(i)
 		}
@@ -285,7 +352,9 @@ func (lp *roundLoop) drawGroup(w, i, n int) {
 	sum := 0.0
 	if lp.algo.drawOne != nil {
 		for j := 0; j < n; j++ {
-			sum += lp.algo.drawOne(i)
+			x := lp.algo.drawOne(i)
+			lp.sampler.Observe(i, x)
+			sum += x
 		}
 	} else {
 		if cap(lp.bufs[w]) < n {
@@ -311,52 +380,102 @@ func (lp *roundLoop) settle(i int, width float64, notify bool) {
 		if lp.algo.partialVal != nil {
 			v = lp.algo.partialVal(i)
 		}
-		lp.opts.OnPartial(i, v, lp.m)
+		lp.opts.OnPartial(i, v, lp.m, width)
 	}
 }
 
-// width returns group i's current interval half-width: the live shared ε
+// groupEps returns group i's live radius: the shared ε under the default
+// schedule, its own per-group radius under a pluggable bound.
+func (lp *roundLoop) groupEps(i int) float64 {
+	if lp.bound != nil {
+		return lp.epsG[i]
+	}
+	return lp.eps
+}
+
+// width returns group i's current interval half-width: the live radius
 // while it is active, the frozen width after it settles.
 func (lp *roundLoop) width(i int) float64 {
 	if lp.active[i] {
-		return lp.eps
+		return lp.groupEps(i)
 	}
 	return lp.frozenEps[i]
 }
 
-// settleIsolated applies the equal-width isolation rule over the active
-// groups: any whose estimate is further than 2ε from both sorted
-// neighbours settles at the live ε.
+// settleIsolated settles the active groups whose intervals have separated,
+// each at its own live radius. Under the default schedule all live widths
+// equal ε and only active intervals matter — a group that separated from
+// every active interval stays separated, because the shared ε only
+// shrinks and frozen widths never exceed it. Per-group radii break that
+// monotonicity (a wide high-variance interval can straddle a settled
+// group's narrow frozen one), so the unequal-width sweep runs over ALL k
+// intervals — frozen for settled groups, live for active — and an active
+// group settles only when disjoint from every one of them, exactly like
+// the SUM estimators' and IREFINE's sweeps.
 func (lp *roundLoop) settleIsolated() {
 	lp.actIdx = activeIndices(lp.active, lp.actIdx)
-	isolatedEqualWidth(lp.actIdx, lp.estimates, lp.eps, lp.isolated)
+	if lp.bound == nil {
+		isolatedEqualWidth(lp.actIdx, lp.estimates, lp.eps, lp.isolated)
+	} else {
+		lp.isolatedUnequal()
+	}
 	for _, i := range lp.actIdx {
 		if lp.isolated[i] {
-			lp.settle(i, lp.eps, lp.algo.notifyPartials)
+			lp.settle(i, lp.groupEps(i), lp.algo.notifyPartials)
 		}
 	}
 }
 
-// resolutionExit settles every remaining group once ε has dropped below
-// r/4: any two still-overlapping groups then have true aggregates within
-// the requested resolution, so both orderings are acceptable.
+// isolatedUnequal marks in lp.isolated which groups' intervals
+// [est−w_i, est+w_i] (frozen w for settled groups, live radius for
+// active) are disjoint from every other group's interval, via the general
+// sort-by-lo sweep — per-group widths differ under variance-adaptive
+// bounds, so the equal-width neighbour shortcut does not apply.
+func (lp *roundLoop) isolatedUnequal() {
+	ivs := lp.ivsBuf[:0]
+	for i := 0; i < lp.k; i++ {
+		w := lp.width(i)
+		ivs = append(ivs, interval{lp.estimates[i] - w, lp.estimates[i] + w})
+	}
+	lp.ivsBuf = ivs
+	isolatedGeneral(ivs, lp.isolated)
+}
+
+// resolutionExit applies the Problem 2 relaxation. Under the shared
+// schedule every remaining group settles once the one live ε drops below
+// r/4. Per-group radii certify the resolution on their own clock: a tight
+// (low-variance) group exits while loose ones keep sampling — the same
+// per-group exit IREFINE-R uses.
 func (lp *roundLoop) resolutionExit() {
-	if lp.opts.Resolution > 0 && lp.eps < lp.opts.Resolution/4 {
-		lp.settleAllRemaining(lp.algo.notifyPartials)
+	if lp.opts.Resolution <= 0 {
+		return
+	}
+	if lp.bound == nil {
+		if lp.eps < lp.opts.Resolution/4 {
+			lp.settleAllRemaining(lp.algo.notifyPartials)
+		}
+		return
+	}
+	for i := 0; i < lp.k; i++ {
+		if lp.active[i] && lp.epsG[i] < lp.opts.Resolution/4 {
+			lp.settle(i, lp.epsG[i], lp.algo.notifyPartials)
+		}
 	}
 }
 
-// settleAllRemaining settles every still-active group at the live ε.
+// settleAllRemaining settles every still-active group at its live radius.
 func (lp *roundLoop) settleAllRemaining(notify bool) {
 	for i := 0; i < lp.k; i++ {
 		if lp.active[i] {
-			lp.settle(i, lp.eps, notify)
+			lp.settle(i, lp.groupEps(i), notify)
 		}
 	}
 }
 
 // trace emits one tracer event, honoring the algorithm's display and flag
-// overrides.
+// overrides. A GroupTracer additionally receives the per-group widths:
+// frozen for settled groups, the live radius (eps under the default
+// schedule) for active ones.
 func (lp *roundLoop) trace(m int, eps float64) {
 	if lp.opts.Tracer == nil {
 		return
@@ -368,6 +487,23 @@ func (lp *roundLoop) trace(m int, eps float64) {
 	est := lp.estimates
 	if lp.algo.display != nil {
 		est = lp.algo.display
+	}
+	if gt, ok := lp.opts.Tracer.(GroupTracer); ok {
+		if lp.traceEps == nil {
+			lp.traceEps = make([]float64, lp.k)
+		}
+		for i := 0; i < lp.k; i++ {
+			switch {
+			case !lp.active[i]:
+				lp.traceEps[i] = lp.frozenEps[i]
+			case lp.bound != nil:
+				lp.traceEps[i] = lp.epsG[i]
+			default:
+				lp.traceEps[i] = eps
+			}
+		}
+		gt.OnRoundGroups(m, eps, lp.traceEps, flags, est, lp.sampler.Total())
+		return
 	}
 	lp.opts.Tracer.OnRound(m, eps, flags, est, lp.sampler.Total())
 }

@@ -17,9 +17,10 @@ import (
 // index) at BatchSize ≤ 1 and Workers ≤ 1, so any further refactor of the
 // round loop must keep the scalar sequential path bit-for-bit stable —
 // and, via TestWorkerInvariance, every Workers/BatchSize combination with
-// it. IREFINE and NOINDEX are not round-driver algorithms: they still
-// consume one shared stream in draw order, and their fingerprints are
-// unchanged from the pre-driver scalar originals.
+// it. IREFINE now follows the same per-group stream discipline (its pin
+// was re-captured when it migrated off the legacy shared stream); NOINDEX
+// is genuinely stream-free — table-wide tuple draws consume one shared
+// generator in draw order — and keeps its pre-driver scalar fingerprint.
 
 // pinUniverse builds a deterministic 6-group slice universe with means
 // roughly 12 apart (uniform ±10 noise), values in [0, 100].
@@ -100,8 +101,8 @@ type partialRecorder struct {
 	events []string
 }
 
-func (p *partialRecorder) hook() func(int, float64, int) {
-	return func(group int, estimate float64, round int) {
+func (p *partialRecorder) hook() func(int, float64, int, float64) {
+	return func(group int, estimate float64, round int, eps float64) {
 		p.events = append(p.events, fmt.Sprintf("%d@%d=%.17g", group, round, estimate))
 	}
 }
@@ -230,7 +231,10 @@ func pinCases() []pinCase {
 				res, err := IRefine(pinUniverse(), xrand.New(7), DefaultOptions())
 				return fingerprint(res, err)
 			},
-			want: "rounds=4 total=18000 capped=false eps=3.125 est=[15.112645392975839 27.143727025742276 39.269162374449749 50.988322863421622 63.152058865837205 75.229764250659912] counts=[3000 3000 3000 3000 3000 3000] settled=[4 4 4 4 4 4]",
+			// Re-pinned when IREFINE moved off the legacy shared RNG stream
+			// onto the per-group stream discipline of the round driver (one
+			// xrand.NewStream per group, keyed by seed and group index).
+			want: "rounds=4 total=18000 capped=false eps=3.125 est=[15.129936920831994 27.151697486879321 39.034117342387084 51.082123523025523 63.056571800413053 75.26738981060241] counts=[3000 3000 3000 3000 3000 3000] settled=[4 4 4 4 4 4]",
 		},
 		{
 			name: "trend",

@@ -200,7 +200,7 @@ func TestIFocusPartialResultsOrder(t *testing.T) {
 	u := virtUniverse([]float64{10, 50, 52, 90}, 1_000_000)
 	var order []int
 	opts := DefaultOptions()
-	opts.OnPartial = func(g int, est float64, round int) {
+	opts.OnPartial = func(g int, est float64, round int, eps float64) {
 		order = append(order, g)
 	}
 	res, err := IFocus(u, xrand.New(9), opts)

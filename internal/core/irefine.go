@@ -17,12 +17,24 @@ import (
 //
 // Setting opts.Resolution > 0 yields IREFINE-R, which stops refining a group
 // once its interval half-width drops below r/4.
+//
+// With opts.Bound set to an empirical-Bernstein kind, each re-estimation
+// becomes variance-adaptive: instead of committing to the Hoeffding batch
+// size up front, the group draws geometrically growing chunks and stops as
+// soon as the empirical-Bernstein radius certifies the target width — far
+// earlier for low-spread groups.
+//
+// Draws follow the per-group stream discipline of the round driver: every
+// group consumes its own seed-derived RNG stream (dataset.NewStreamSampler),
+// so a group's samples depend only on the run seed, its index, and its own
+// draw count, never on the other groups' batch sizes.
 func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
 	if err := opts.validate(u); err != nil {
 		return nil, err
 	}
 	k := u.K()
-	sampler := dataset.NewSampler(u, rng, !opts.WithReplacement)
+	sampler := dataset.NewStreamSampler(u, rng.Uint64(), !opts.WithReplacement)
+	adaptive := opts.Bound == conc.KindBernstein || opts.Bound == conc.KindBernsteinFinite
 
 	estimates := make([]float64, k)
 	epsilons := make([]float64, k)
@@ -57,7 +69,11 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 			// Figure 5 experiments can shrink faster than theory allows.
 			epsilons[i] /= 2
 			deltas[i] /= 2
-			estimates[i] = estimateMean(sampler, i, u.C, epsilons[i]*opts.HeuristicFactor, deltas[i], buf)
+			if adaptive {
+				estimates[i] = estimateMeanEB(sampler, i, u.C, epsilons[i]*opts.HeuristicFactor, deltas[i], buf)
+			} else {
+				estimates[i] = estimateMean(sampler, i, u.C, epsilons[i]*opts.HeuristicFactor, deltas[i], buf)
+			}
 		}
 
 		// Deactivate groups whose intervals no longer intersect any other
@@ -83,7 +99,7 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 				settled[i] = round
 				numActive--
 				if opts.OnPartial != nil {
-					opts.OnPartial(i, estimates[i], round)
+					opts.OnPartial(i, estimates[i], round, epsilons[i])
 				}
 			}
 		}
@@ -94,7 +110,11 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 					maxEps = epsilons[i]
 				}
 			}
-			opts.Tracer.OnRound(round, maxEps, active, estimates, sampler.Total())
+			if gt, ok := opts.Tracer.(GroupTracer); ok {
+				gt.OnRoundGroups(round, maxEps, epsilons, active, estimates, sampler.Total())
+			} else {
+				opts.Tracer.OnRound(round, maxEps, active, estimates, sampler.Total())
+			}
 		}
 		if opts.MaxRounds > 0 && round >= opts.MaxRounds && numActive > 0 {
 			res.Capped = true
@@ -152,6 +172,51 @@ func estimateMean(s *dataset.Sampler, group int, c, eps, delta float64, buf []fl
 		drawn += n
 	}
 	return sum / float64(m)
+}
+
+// estimateMeanEB is the variance-adaptive Algorithm 2: rather than
+// committing to the Hoeffding batch c²/(2ε²)·ln(2/δ) up front, it draws
+// geometrically growing chunks, folds them into an incremental Welford
+// accumulator, and stops as soon as the fixed-confidence empirical-
+// Bernstein radius — which scales with the observed spread rather than the
+// domain width — certifies ±eps. Because the stopping rule peeks at the
+// data, the failure budget is spread over the checkpoints as δ/(j(j+1))
+// (a convergent series summing to δ), so the certificate holds wherever
+// the loop stops. Sampling without replacement stops early once the
+// group's remaining population is consumed, exactly like estimateMean.
+func estimateMeanEB(s *dataset.Sampler, group int, c, eps, delta float64, buf []float64) float64 {
+	remaining := int64(-1) // unbounded
+	if n := s.Universe().Groups[group].Size(); n > 0 && s.WithoutReplacement() {
+		remaining = n - s.Count(group)
+		if remaining <= 0 {
+			return exactMean(s.Universe().Groups[group])
+		}
+	}
+	var mom conc.Moments
+	taken := 0
+	chunk := 64
+	for j := 1; ; j++ {
+		n := chunk
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if remaining >= 0 && int64(taken+n) > remaining {
+			n = int(remaining) - taken
+		}
+		s.DrawBatch(group, buf[:n])
+		mom.AddAll(buf[:n])
+		taken += n
+		if remaining >= 0 && int64(taken) >= remaining {
+			break // population consumed; the batch mean is all there is
+		}
+		if conc.EBRadius(c, taken, mom.Variance(), delta/float64(j*(j+1))) <= eps {
+			break
+		}
+		if chunk < len(buf) {
+			chunk *= 2
+		}
+	}
+	return mom.Mean
 }
 
 // exactMean recomputes the exact mean of a fully consumed group. Only

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/conc"
 	"repro/internal/dataset"
 	"repro/internal/xrand"
 )
@@ -57,6 +58,13 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 
 	estZ := make([]float64, k)
 	zcnt := make([]int64, k)
+	// Under a variance-adaptive bound the Z phase needs Z's own moments:
+	// the driver's sampler accounting tracks the Y values the hook returns,
+	// so the hook (and the phase-2 draw) folds each tuple's Z here.
+	var zmom []conc.Moments
+	if half.Bound == conc.KindBernstein || half.Bound == conc.KindBernsteinFinite {
+		zmom = make([]conc.Moments, k)
+	}
 
 	// Phase 1: IFOCUS on Y through the shared driver. Z estimates ride
 	// along for free: the draw hook folds each tuple's Z into its own
@@ -74,6 +82,9 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 			zcnt[i]++
 			zm := float64(zcnt[i])
 			estZ[i] = (zm-1)/zm*estZ[i] + z/zm
+			if zmom != nil {
+				zmom[i].Add(z)
+			}
 			return y
 		},
 		decide: func(lp *roundLoop) {
@@ -87,6 +98,7 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 	estY := lp.estimates
 	counts := lp.sampler.Counts()
 	sched := lp.sched
+	zbound := lp.bound // same kind and δ/2 budget as the Y phase
 	isolated := lp.isolated
 	res := &MultiResult{
 		EstimatesY:   estY,
@@ -109,6 +121,9 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 		m := float64(counts[i])
 		estY[i] = (m-1)/m*estY[i] + y/m
 		estZ[i] = (m-1)/m*estZ[i] + z/m
+		if zmom != nil {
+			zmom[i].Add(z)
+		}
 	}
 	activeZ := make([]bool, k)
 	for i := 0; i < k; i++ {
@@ -123,11 +138,15 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 		}
 		rounds++
 		for i := 0; i < k; i++ {
-			var w float64
+			var n int64
 			if !opts.WithReplacement {
-				w = sched.EpsilonN(int(counts[i]), u.Groups[i].Size()) / opts.HeuristicFactor
+				n = u.Groups[i].Size()
+			}
+			var w float64
+			if zbound != nil {
+				w = zbound.Radius(int(counts[i]), n, &zmom[i]) / opts.HeuristicFactor
 			} else {
-				w = sched.EpsilonN(int(counts[i]), 0) / opts.HeuristicFactor
+				w = sched.EpsilonN(int(counts[i]), n) / opts.HeuristicFactor
 			}
 			ivs[i] = interval{estZ[i] - w, estZ[i] + w}
 		}

@@ -56,6 +56,14 @@ func MultiGroupBy(src CellSource, rng *xrand.RNG, opts Options, maxDraws int64) 
 	if opts.Delta <= 0 || opts.Delta >= 1 {
 		return nil, fmt.Errorf("core: delta must be in (0,1), got %v", opts.Delta)
 	}
+	if kind, err := conc.ParseKind(string(opts.Bound)); err != nil {
+		return nil, err
+	} else if kind != conc.KindHoeffding {
+		// Cells are discovered as tuples land, so there is no per-cell
+		// moment accounting to feed a variance-adaptive bound yet; reject
+		// rather than silently running the default schedule.
+		return nil, fmt.Errorf("core: multiple group-by supports the default %s bound only, got %s", conc.KindHoeffding, kind)
+	}
 	if opts.Kappa == 0 {
 		opts.Kappa = 1
 	}

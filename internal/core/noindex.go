@@ -106,14 +106,38 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 	if opts.BatchSize < 0 {
 		return nil, fmt.Errorf("core: batch size must be non-negative, got %d", opts.BatchSize)
 	}
+	kind, err := conc.ParseKind(string(opts.Bound))
+	if err != nil {
+		return nil, err
+	}
 	// Table-wide draws return each group's tuples with replacement; the
 	// with-replacement schedule applies.
 	sched := conc.MustSchedule(src.C(), k, opts.Delta, opts.Kappa, 0)
+	// Per-group counts already differ here — tuples land where they land —
+	// so a variance-adaptive bound slots straight into the per-group width
+	// computation; its moments fold forward with each landed tuple.
+	var bound conc.Bound
+	var mom []conc.Moments
+	if kind != conc.KindHoeffding {
+		bound = conc.MustBound(kind, src.C(), k, opts.Delta, opts.Kappa)
+		mom = make([]conc.Moments, k)
+	}
 
 	estimates := make([]float64, k)
 	counts := make([]int64, k)
 	isolated := make([]bool, k)
 	ivs := make([]interval, k)
+	// Tracer support: table-wide draws never deactivate a group, so every
+	// group reports as live; widths go to GroupTracer implementations.
+	var traceActive []bool
+	var traceEps []float64
+	if opts.Tracer != nil {
+		traceActive = make([]bool, k)
+		for i := range traceActive {
+			traceActive[i] = true
+		}
+		traceEps = make([]float64, k)
+	}
 	var total int64
 
 	res := &NoIndexResult{Estimates: estimates, SampleCounts: counts}
@@ -136,6 +160,9 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 		counts[g]++
 		m := float64(counts[g])
 		estimates[g] = (m-1)/m*estimates[g] + v/m
+		if mom != nil {
+			mom[g].Add(v)
+		}
 		total++
 
 		if total%checkEvery == 0 {
@@ -149,11 +176,27 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 			if seen {
 				maxEps := 0.0
 				for i := 0; i < k; i++ {
-					w := sched.EpsilonN(int(counts[i]), 0) / opts.HeuristicFactor
+					var w float64
+					if bound != nil {
+						w = bound.Radius(int(counts[i]), 0, &mom[i]) / opts.HeuristicFactor
+					} else {
+						w = sched.EpsilonN(int(counts[i]), 0) / opts.HeuristicFactor
+					}
 					if w > maxEps {
 						maxEps = w
 					}
 					ivs[i] = interval{estimates[i] - w, estimates[i] + w}
+				}
+				if opts.Tracer != nil {
+					for i := 0; i < k; i++ {
+						traceEps[i] = ivs[i].hi - estimates[i]
+					}
+					round := int(total / checkEvery)
+					if gt, ok := opts.Tracer.(GroupTracer); ok {
+						gt.OnRoundGroups(round, maxEps, traceEps, traceActive, estimates, total)
+					} else {
+						opts.Tracer.OnRound(round, maxEps, traceActive, estimates, total)
+					}
 				}
 				isolatedGeneral(ivs, isolated)
 				done := true

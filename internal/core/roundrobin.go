@@ -35,7 +35,14 @@ func RoundRobin(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, err
 		keepExhaustedActive: true,
 		traceFlags:          allFlags,
 		decide: func(lp *roundLoop) {
-			isolatedEqualWidth(all, lp.estimates, lp.eps, lp.isolated)
+			// Every group stays live until the run ends, so the sweep runs
+			// over all k: the neighbour shortcut under the shared ε, the
+			// general sweep when per-group radii differ.
+			if lp.bound == nil {
+				isolatedEqualWidth(all, lp.estimates, lp.eps, lp.isolated)
+			} else {
+				lp.isolatedUnequal()
+			}
 			done := true
 			for i := 0; i < k; i++ {
 				if !lp.isolated[i] && !lp.drained[i] {

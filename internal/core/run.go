@@ -171,8 +171,9 @@ type Spec struct {
 	// shared round driver (the IFOCUS family, ROUNDROBIN, the SUM
 	// estimators, MultiAgg phase 1). Results are identical for every
 	// value — parallel rounds only partition independent per-group work.
-	// 0 or 1 runs inline. IREFINE, NOINDEX, and Cells runs draw from one
-	// shared stream and ignore it.
+	// 0 or 1 runs inline. IREFINE (per-group streams but sequential
+	// batches), NOINDEX, and Cells runs (one shared stream in draw order)
+	// ignore it.
 	Workers int
 
 	Opts Options

@@ -46,13 +46,14 @@ func SumKnownSizes(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, 
 			}
 		},
 		decide: func(lp *roundLoop) {
-			// Widths differ per group (scaled by n_i), so the general
-			// disjointness sweep applies, over frozen widths for settled
-			// groups and n_i·ε for active ones.
+			// Widths differ per group (scaled by n_i — and, under a
+			// variance-adaptive bound, per-group mean radii on top), so the
+			// general disjointness sweep applies, over frozen widths for
+			// settled groups and n_i·ε_i for active ones.
 			for i := 0; i < k; i++ {
 				w := lp.frozenEps[i]
 				if lp.active[i] {
-					w = sizes[i] * lp.eps
+					w = sizes[i] * lp.groupEps(i)
 				}
 				ivs[i] = interval{sums[i] - w, sums[i] + w}
 			}
@@ -64,7 +65,7 @@ func SumKnownSizes(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, 
 				}
 			}
 			for _, i := range toSettle {
-				lp.settle(i, sizes[i]*lp.eps, true)
+				lp.settle(i, sizes[i]*lp.groupEps(i), true)
 			}
 			// The resolution r of Problem 2 is interpreted in sum units
 			// here: stop once every active group's scaled width is below
@@ -72,7 +73,7 @@ func SumKnownSizes(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, 
 			if opts.Resolution > 0 {
 				all := true
 				for i := 0; i < k; i++ {
-					if lp.active[i] && sizes[i]*lp.eps >= opts.Resolution/4 {
+					if lp.active[i] && sizes[i]*lp.groupEps(i) >= opts.Resolution/4 {
 						all = false
 						break
 					}
@@ -80,7 +81,7 @@ func SumKnownSizes(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, 
 				if all {
 					for i := 0; i < k; i++ {
 						if lp.active[i] {
-							lp.settle(i, sizes[i]*lp.eps, true)
+							lp.settle(i, sizes[i]*lp.groupEps(i), true)
 						}
 					}
 				}

@@ -126,7 +126,7 @@ func TopT(u *dataset.Universe, rng *xrand.RNG, t int, opts Options) (*TopTResult
 				}
 			}
 			for _, i := range toSettle {
-				lp.settle(i, lp.eps, true)
+				lp.settle(i, lp.groupEps(i), true)
 			}
 			lp.resolutionExit()
 		},

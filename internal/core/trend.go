@@ -36,7 +36,7 @@ func Trend(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error) {
 				}
 			}
 			for _, i := range toSettle {
-				lp.settle(i, lp.eps, true)
+				lp.settle(i, lp.groupEps(i), true)
 			}
 			lp.resolutionExit()
 		},

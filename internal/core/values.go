@@ -27,13 +27,33 @@ func WithValues(u *dataset.Universe, rng *xrand.RNG, d float64, opts Options) (*
 		decide: func(lp *roundLoop) {
 			// A group settles only when isolated AND its interval is tight
 			// enough to certify the value bound (ε ≤ d/2 ⇒ |ν−µ| ≤ d/2 ≤ d).
-			if lp.eps > d/2 {
+			if lp.bound == nil {
+				if lp.eps > d/2 {
+					return
+				}
+				lp.settleIsolated()
+				// Resolution relaxation still applies to the ordering half
+				// of the guarantee; the value half is already certified
+				// here.
+				lp.resolutionExit()
 				return
 			}
-			lp.settleIsolated()
-			// Resolution relaxation still applies to the ordering half of
-			// the guarantee; the value half is already certified here.
-			lp.resolutionExit()
+			// Per-group radii certify the value bound per group: a group
+			// may settle — whether by isolation from all k intervals
+			// (frozen ones included) or by the resolution relaxation —
+			// only once its own interval has tightened to d/2, while
+			// wider groups keep sampling.
+			lp.actIdx = activeIndices(lp.active, lp.actIdx)
+			lp.isolatedUnequal()
+			for _, i := range lp.actIdx {
+				w := lp.groupEps(i)
+				if w > d/2 {
+					continue
+				}
+				if lp.isolated[i] || (opts.Resolution > 0 && w < opts.Resolution/4) {
+					lp.settle(i, w, true)
+				}
+			}
 		},
 	})
 	if err := lp.run(); err != nil {

@@ -3,6 +3,7 @@ package dataset
 import (
 	"sync/atomic"
 
+	"repro/internal/conc"
 	"repro/internal/xrand"
 )
 
@@ -36,6 +37,20 @@ type Sampler struct {
 	counts    []int64
 	total     int64
 	exhausted []atomic.Bool
+
+	// moments, when enabled, holds one Welford accumulator per group —
+	// the sufficient statistics behind variance-adaptive bounds — folded
+	// forward as draws happen, never by rescanning past draws. Like a
+	// group's RNG stream, moments[i] is group-owned, unsynchronized state:
+	// at most one goroutine may draw from (or observe values for) a given
+	// group at a time.
+	moments []conc.Moments
+	// autoObserve folds every value the sampler itself draws into the
+	// group's moments. Algorithms whose draws pass through a transform
+	// (normalized draws, pair draws) disable it and feed the transformed
+	// values via Observe instead, so the moments describe the variable
+	// actually being estimated.
+	autoObserve bool
 }
 
 // NewSampler returns a sampler over u whose draws all consume the one
@@ -90,26 +105,45 @@ func (s *Sampler) Draw(i int) float64 {
 	g := s.u.Groups[i]
 	s.Record(i, 1)
 	r := s.RNGFor(i)
+	var v float64
+	drawn := false
 	if s.without {
 		if wg, ok := g.(WithoutReplacementGroup); ok {
-			if v, ok := wg.DrawWithoutReplacement(r); ok {
-				return v
+			if x, ok := wg.DrawWithoutReplacement(r); ok {
+				v, drawn = x, true
+			} else {
+				s.exhausted[i].Store(true)
 			}
-			s.exhausted[i].Store(true)
 		}
 	}
-	return g.Draw(r)
+	if !drawn {
+		v = g.Draw(r)
+	}
+	if s.moments != nil && s.autoObserve {
+		s.moments[i].Add(v)
+	}
+	return v
 }
 
 // DrawBatch fills dst with samples from group i and records them. One call
 // costs one interface dispatch and one accounting update for the whole
-// block, and produces exactly the stream len(dst) successive Draw calls
-// would — including the fall-back to with-replacement sampling if the
-// group's population runs out mid-block.
+// block — the moments update included, folded over the freshly filled
+// block right here rather than by any later rescan — and produces exactly
+// the stream len(dst) successive Draw calls would, including the fall-back
+// to with-replacement sampling if the group's population runs out
+// mid-block.
 func (s *Sampler) DrawBatch(i int, dst []float64) {
 	if len(dst) == 0 {
 		return
 	}
+	s.drawBatch(i, dst)
+	if s.moments != nil && s.autoObserve {
+		s.moments[i].AddAll(dst)
+	}
+}
+
+// drawBatch is DrawBatch without the moments fold.
+func (s *Sampler) drawBatch(i int, dst []float64) {
 	g := s.u.Groups[i]
 	s.Record(i, len(dst))
 	r := s.RNGFor(i)
@@ -186,6 +220,42 @@ func (s *Sampler) RNGFor(i int) *xrand.RNG {
 		return s.streams[i]
 	}
 	return s.rng
+}
+
+// EnableMoments switches on per-group moment accounting: one Welford
+// accumulator per group, maintained incrementally. With autoObserve set,
+// every value the sampler draws (Draw, DrawBatch) is folded into its
+// group's moments as part of the draw — the right mode when the drawn
+// values are the variable being estimated. Algorithms that transform
+// draws (normalized sums, pair attributes) pass false and feed the
+// transformed values through Observe at the point they fold them into
+// their estimates. Call before any draws.
+func (s *Sampler) EnableMoments(autoObserve bool) {
+	s.moments = make([]conc.Moments, s.u.K())
+	s.autoObserve = autoObserve
+}
+
+// MomentsEnabled reports whether per-group moments are being maintained.
+func (s *Sampler) MomentsEnabled() bool { return s.moments != nil }
+
+// Observe folds one value of the estimated variable into group i's
+// moments (no draw is recorded). It is the value-level companion of
+// Record for custom draw paths, and a no-op when moments are disabled so
+// hooks can call it unconditionally.
+func (s *Sampler) Observe(i int, x float64) {
+	if s.moments != nil {
+		s.moments[i].Add(x)
+	}
+}
+
+// MomentsFor returns group i's accumulator, nil when moments are
+// disabled. The caller must not mutate it; like Counts, it must not be
+// read while draws are in flight on other goroutines.
+func (s *Sampler) MomentsFor(i int) *conc.Moments {
+	if s.moments == nil {
+		return nil
+	}
+	return &s.moments[i]
 }
 
 // WithoutReplacement reports whether the sampler consumes groups without

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/workload"
@@ -93,6 +94,12 @@ type Scale struct {
 	// value — per-group RNG streams make the draws order-independent — so
 	// this only changes how fast a paper-scale sweep finishes.
 	Workers int
+	// Bound selects the concentration inequality behind every run's
+	// confidence intervals ("" or "hoeffding" = the paper's schedule;
+	// "bernstein" / "bernstein-finite" = variance-adaptive). Re-running a
+	// figure under a different bound shows how much of its sample cost was
+	// the Hoeffding width rather than the problem's hardness.
+	Bound string
 }
 
 // DefaultScale returns the laptop-sized configuration.
@@ -125,6 +132,7 @@ func (s Scale) options(a Algo) core.Options {
 	opts.Delta = s.Delta
 	opts.MaxRounds = s.MaxRounds
 	opts.Workers = s.Workers
+	opts.Bound = conc.Kind(s.Bound)
 	if a.resolutionVariant() {
 		opts.Resolution = s.Resolution
 	}

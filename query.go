@@ -1,9 +1,24 @@
 package rapidviz
 
 import (
+	"repro/internal/conc"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/xrand"
+)
+
+// Query.ConfidenceBound values.
+const (
+	// BoundHoeffding is the paper's anytime Hoeffding/Serfling schedule —
+	// the default, and bit-for-bit the behavior from before confidence
+	// bounds became pluggable.
+	BoundHoeffding = string(conc.KindHoeffding)
+	// BoundBernstein is the variance-adaptive empirical-Bernstein bound:
+	// per-group interval widths that shrink with the observed spread.
+	BoundBernstein = string(conc.KindBernstein)
+	// BoundBernsteinFinite is BoundBernstein with a finite-population
+	// correction for without-replacement sampling.
+	BoundBernsteinFinite = string(conc.KindBernsteinFinite)
 )
 
 // Aggregate selects what a Query estimates per group.
@@ -142,6 +157,17 @@ type Query struct {
 	// Zero means the engine default, or — when that is zero too — the
 	// maximum over materialized groups.
 	Bound float64
+	// ConfidenceBound selects the concentration inequality behind the
+	// query's confidence intervals. Empty or BoundHoeffding keeps the
+	// paper's anytime Hoeffding/Serfling schedule — one shared interval
+	// width per round, the exact pre-existing behavior. BoundBernstein
+	// switches to variance-adaptive empirical-Bernstein intervals: each
+	// group's width scales with its *observed* spread (maintained
+	// incrementally, single-pass), so low-variance groups separate with
+	// far fewer samples — often several-fold fewer on well-behaved data —
+	// under the same 1−Delta guarantee. BoundBernsteinFinite adds a
+	// finite-population correction for without-replacement sampling.
+	ConfidenceBound string
 	// Resolution relaxes the guarantee to Problem 2: pairs of true
 	// aggregates within Resolution of each other may be ordered either
 	// way, which terminates (much) faster. Zero disables.
@@ -196,6 +222,37 @@ type Query struct {
 	// MaxDraws caps total tuple draws for AlgoNoIndex and SubGroups
 	// queries (0 = unlimited).
 	MaxDraws int64
+
+	// OnRound, when non-nil, observes the run round by round: current
+	// estimates, which groups are still being sampled, and the per-group
+	// confidence half-widths — equal under the default schedule, per
+	// group under variance-adaptive bounds. It is called synchronously on
+	// the sampling goroutine; keep it cheap, and copy any slice you
+	// retain (they are reused between rounds). Supported by the sampling
+	// algorithms — AlgoNoIndex reports at its interval-check cadence,
+	// once every group has landed a tuple — but not by AlgoScan (no
+	// rounds) or SubGroups queries.
+	OnRound func(RoundTrace)
+}
+
+// RoundTrace is one per-round observability event delivered to
+// Query.OnRound. All slices are index-aligned with the groups the query
+// actually sampled and are only valid during the call — copy to retain.
+type RoundTrace struct {
+	// Round is the sampling round number m, from 1.
+	Round int
+	// Epsilon is the widest live confidence half-width.
+	Epsilon float64
+	// GroupEpsilons holds each group's current half-width: its live
+	// radius while sampling, the width its interval was frozen at after
+	// settling. Nil for algorithms that report only the scalar width.
+	GroupEpsilons []float64
+	// Active flags the groups still being sampled.
+	Active []bool
+	// Estimates are the current running estimates.
+	Estimates []float64
+	// TotalSamples is the cumulative sample count across all groups.
+	TotalSamples int64
 }
 
 // PredicateOp is the comparison operator of a Where predicate.
@@ -255,6 +312,11 @@ type Partial struct {
 	Estimate float64
 	// Round is the sampling round at which the group settled.
 	Round int
+	// HalfWidth is the confidence half-width the group's interval was
+	// frozen at when it settled: the estimate is within ±HalfWidth of the
+	// true aggregate with the query's confidence. Per group under
+	// variance-adaptive bounds, the shared ε under the default schedule.
+	HalfWidth float64
 }
 
 // Event is one element of a Stream: either a Partial, or — exactly once,

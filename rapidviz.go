@@ -139,11 +139,11 @@ func (o Options) query() Query {
 }
 
 // partial adapts the legacy callback to the engine's internal hook.
-func (o Options) partial() func(name string, i int, est float64, round int) {
+func (o Options) partial() func(name string, i int, est float64, round int, eps float64) {
 	if o.OnPartial == nil {
 		return nil
 	}
-	return func(name string, i int, est float64, round int) { o.OnPartial(name, est) }
+	return func(name string, i int, est float64, round int, eps float64) { o.OnPartial(name, est) }
 }
 
 // Result reports a run: per-group estimates plus sampling cost.
