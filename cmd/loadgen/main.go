@@ -1,0 +1,244 @@
+// Command loadgen drives a rapidvizd serving stack under sustained
+// concurrent load and reports what the paper's interactivity claim costs
+// at the serving layer: it hosts an in-process server over one shared
+// table, opens -clients concurrent WebSocket streams that each submit
+// -per queries drawn from a deterministic mix of -distinct variants
+// (mixed algorithms, confidence bounds, and Where filters, so the run
+// exercises fresh executions, single-flight sharing, and the result
+// cache), and writes a JSON report with p99 admission latency, end-to-end
+// query latency quantiles, and sustained samples/sec to -out.
+//
+// Usage:
+//
+//	loadgen [-clients 200] [-per 3] [-distinct 40] [-rows 100000]
+//	        [-workers 0] [-batch 128] [-delta 0.1] [-maxrounds 300]
+//	        [-out BENCH_serve.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/serve"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		clients   = flag.Int("clients", 200, "concurrent WebSocket streams")
+		per       = flag.Int("per", 3, "queries issued per client")
+		distinct  = flag.Int("distinct", 40, "distinct query variants in the mix")
+		rows      = flag.Int64("rows", 100_000, "rows in the shared demo table")
+		seed      = flag.Uint64("seed", 1, "demo table seed")
+		workers   = flag.Int("workers", 0, "server admission capacity (0 = server default)")
+		batch     = flag.Int("batch", 128, "per-round sampling block size")
+		delta     = flag.Float64("delta", 0.1, "failure probability per query")
+		maxRounds = flag.Int("maxrounds", 300, "server round budget per query")
+		traces    = flag.Bool("traces", false, "request throttled per-round trace events")
+		out       = flag.String("out", "BENCH_serve.json", "JSON report path")
+	)
+	flag.Parse()
+
+	table, err := demoTable(*rows, *seed)
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	srv, err := serve.New(serve.Config{
+		Table:           table,
+		Workers:         *workers,
+		MaxRoundsBudget: *maxRounds,
+	})
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	defer srv.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	wsURL := "ws://" + ln.Addr().String() + "/api/stream"
+
+	mix := buildMix(*distinct, *batch, *delta, *traces)
+	log.Printf("loadgen: %d clients × %d queries over %d variants against %s",
+		*clients, *per, len(mix), ln.Addr())
+
+	var (
+		mu         sync.Mutex
+		latencies  []float64 // end-to-end ms
+		firstEvent []float64 // ms to the accepted event
+		sources    = map[string]int{}
+		ok, failed int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for j := 0; j < *per; j++ {
+				req := mix[(c**per+j)%len(mix)]
+				lat, first, source, err := runQuery(wsURL, req)
+				mu.Lock()
+				if err != nil {
+					failed++
+				} else {
+					ok++
+					latencies = append(latencies, lat)
+					firstEvent = append(firstEvent, first)
+					sources[source]++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	snap := srv.Metrics().Snapshot()
+	report := map[string]any{
+		"timestamp":          time.Now().UTC().Format(time.RFC3339),
+		"clients":            *clients,
+		"queries_per_client": *per,
+		"distinct_variants":  len(mix),
+		"table_rows":         *rows,
+		"duration_seconds":   elapsed.Seconds(),
+		"queries_ok":         ok,
+		"queries_failed":     failed,
+		"sources":            sources,
+		"admission_wait_ms": map[string]float64{
+			"p50": srv.Metrics().AdmissionQuantile(0.50) * 1000,
+			"p95": srv.Metrics().AdmissionQuantile(0.95) * 1000,
+			"p99": srv.Metrics().AdmissionQuantile(0.99) * 1000,
+		},
+		"query_latency_ms": quantiles(latencies),
+		"first_event_ms":   quantiles(firstEvent),
+		"samples_total":    snap.SamplesTotal,
+		"samples_per_sec":  float64(snap.SamplesTotal) / elapsed.Seconds(),
+		"rounds_total":     snap.RoundsTotal,
+		"metrics":          snap,
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatalf("loadgen: %v", err)
+	}
+
+	fmt.Printf("loadgen: %d/%d queries ok in %.1fs — admission p99 %.2fms, %.0f samples/sec (run %d, shared %d, cached %d)\n",
+		ok, ok+failed, elapsed.Seconds(),
+		srv.Metrics().AdmissionQuantile(0.99)*1000,
+		float64(snap.SamplesTotal)/elapsed.Seconds(),
+		sources[serve.SourceRun], sources[serve.SourceShared], sources[serve.SourceCached])
+	fmt.Printf("loadgen: report written to %s\n", *out)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}
+
+// buildMix produces the deterministic query-variant rotation. Variants
+// differ in seed, algorithm, confidence bound, and Where filter, so a run
+// mixes fresh executions with flight sharing and cache replays.
+func buildMix(distinct, batch int, delta float64, traces bool) []serve.QueryRequest {
+	if distinct < 1 {
+		distinct = 1
+	}
+	algos := []string{"ifocus", "roundrobin"}
+	bounds := []string{"hoeffding", "bernstein"}
+	mix := make([]serve.QueryRequest, distinct)
+	for v := 0; v < distinct; v++ {
+		req := serve.QueryRequest{
+			Algorithm:       algos[v%len(algos)],
+			ConfidenceBound: bounds[(v/2)%len(bounds)],
+			Delta:           delta,
+			BatchSize:       batch,
+			Seed:            uint64(v/4 + 1),
+			Traces:          traces,
+		}
+		// Every fourth variant filters: long-haul flights only.
+		if v%4 == 3 {
+			req.Where = []serve.WirePredicate{{Column: "elapsed", Op: ">=", Value: 150}}
+		}
+		mix[v] = req
+	}
+	return mix
+}
+
+// runQuery drives one streamed query to its terminal event, returning the
+// end-to-end latency, the time to the accepted event (both ms), and the
+// execution source.
+func runQuery(wsURL string, req serve.QueryRequest) (lat, first float64, source string, err error) {
+	start := time.Now()
+	conn, err := serve.DialWS(wsURL, 10*time.Second)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	defer conn.Close()
+	blob, err := json.Marshal(req)
+	if err != nil {
+		return 0, 0, "", err
+	}
+	if err := conn.WriteText(blob); err != nil {
+		return 0, 0, "", err
+	}
+	for {
+		msg, err := conn.ReadMessage()
+		if err != nil {
+			return 0, 0, "", fmt.Errorf("stream ended without a terminal event: %w", err)
+		}
+		var ev serve.Event
+		if err := json.Unmarshal(msg, &ev); err != nil {
+			return 0, 0, "", err
+		}
+		switch ev.Type {
+		case "accepted":
+			first = time.Since(start).Seconds() * 1000
+			source = ev.Source
+		case "result":
+			return time.Since(start).Seconds() * 1000, first, source, nil
+		case "error":
+			return 0, 0, "", fmt.Errorf("query error: %s", ev.Error)
+		}
+	}
+}
+
+// quantiles summarizes a latency sample in milliseconds.
+func quantiles(xs []float64) map[string]float64 {
+	if len(xs) == 0 {
+		return map[string]float64{"p50": 0, "p95": 0, "p99": 0}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return map[string]float64{"p50": at(0.50), "p95": at(0.95), "p99": at(0.99)}
+}
+
+// demoTable mirrors the rapidvizd -demo dataset so the load run and the
+// served binary measure the same workload.
+func demoTable(rows int64, seed uint64) (*rapidviz.Table, error) {
+	b := rapidviz.NewTableBuilderColumns("arrdelay", "elapsed")
+	err := workload.FlightsRows(rows, seed, func(r workload.FlightRow) error {
+		return b.AddRow(r.Airline, r.ArrDelay, r.Elapsed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return b.Build()
+}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/conc"
 	"repro/internal/core"
@@ -60,6 +61,13 @@ type EngineConfig struct {
 	// An explicit Query.Workers overrides the sizing entirely. Zero
 	// means runtime.GOMAXPROCS(0).
 	Workers int
+	// OnAdmission, when non-nil, observes every admitted query: it is
+	// called once per Run/Stream with the time the call spent waiting for
+	// a worker slot (zero when a slot was free). It runs on the query's
+	// goroutine before any work starts, so keep it cheap; serving layers
+	// use it to record admission-latency distributions. Calls that are
+	// canceled while waiting are not reported.
+	OnAdmission func(wait time.Duration)
 }
 
 // Engine executes Queries over groups. It is cheap to construct, safe for
@@ -87,6 +95,17 @@ type Engine struct {
 	views     sync.Map // whereKey -> *dataset.View
 	viewMu    sync.Mutex
 	viewCount atomic.Int32
+
+	// View-cache introspection counters (see ViewCacheStats): lookups that
+	// reused a cached selection, lookups that paid the filter scan, and
+	// entries dropped by overflow flushes.
+	viewHits      atomic.Int64
+	viewMisses    atomic.Int64
+	viewEvictions atomic.Int64
+
+	// inflight counts queries currently holding a worker slot (admitted
+	// Run/Stream calls, from slot acquisition to release).
+	inflight atomic.Int64
 }
 
 // maxCachedViews bounds the engine's selection cache; overflowing it
@@ -201,11 +220,22 @@ func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial fun
 	// bound inference scan every materialized group, so they must count
 	// against the engine's concurrency budget, and an already-canceled
 	// context must not pay for them.
+	var admitted time.Time
+	if e.cfg.OnAdmission != nil {
+		admitted = time.Now()
+	}
 	select {
 	case e.sem <- struct{}{}:
-		defer func() { <-e.sem }()
+		e.inflight.Add(1)
+		defer func() {
+			e.inflight.Add(-1)
+			<-e.sem
+		}()
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	}
+	if e.cfg.OnAdmission != nil {
+		e.cfg.OnAdmission(time.Since(admitted))
 	}
 
 	if len(q.Where) > 0 {
@@ -302,25 +332,41 @@ func (e *Engine) whereGroups(preds []Predicate, groups []Group) ([]Group, error)
 
 	key := whereKey{table: table, fp: dataset.FingerprintPredicates(preds)}
 	if cached, ok := e.views.Load(key); ok {
+		e.viewHits.Add(1)
 		return cached.(*dataset.View).View(), nil
 	}
+	e.viewMisses.Add(1)
 	view, err := table.Filter(preds...)
 	if err != nil {
 		return nil, err
 	}
 	e.viewMu.Lock()
-	if e.viewCount.Load() >= maxCachedViews {
+	if count := e.viewCount.Load(); count >= maxCachedViews {
 		e.views.Range(func(k, _ any) bool {
 			e.views.Delete(k)
 			return true
 		})
 		e.viewCount.Store(0)
+		e.viewEvictions.Add(int64(count))
 	}
 	if _, loaded := e.views.LoadOrStore(key, view); !loaded {
 		e.viewCount.Add(1)
 	}
 	e.viewMu.Unlock()
 	return view.View(), nil
+}
+
+// ResolveGroups returns the groups q will actually sample over the given
+// group set: for Where queries, the filter's surviving groups in table
+// order (resolved through the engine's selection cache, so the later run
+// reuses the scan); otherwise the input unchanged. Serving layers use it
+// to label streamed per-round traces, whose slices are index-aligned with
+// the resolved groups rather than the caller's.
+func (e *Engine) ResolveGroups(q Query, groups []Group) ([]Group, error) {
+	if len(q.Where) == 0 {
+		return groups, nil
+	}
+	return e.whereGroups(q.Where, groups)
 }
 
 // idleWorkers returns the parallelism currently available to a query —
@@ -356,6 +402,42 @@ func (e *Engine) borrowWorkers() (int, func()) {
 		}
 	}
 }
+
+// CacheStats reports cumulative counters of an engine-internal cache.
+type CacheStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups that paid the underlying computation.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped to keep the cache bounded.
+	Evictions int64 `json:"evictions"`
+	// Entries is the current number of cached entries.
+	Entries int64 `json:"entries"`
+}
+
+// ViewCacheStats reports the predicate-view cache's cumulative hit, miss,
+// and eviction counters plus its current size, for observability surfaces
+// like rapidvizd's /metrics endpoint. Safe to call concurrently with
+// queries; the counters are monotone but mutually unsynchronized, so a
+// snapshot taken under traffic may be transiently inconsistent by a few
+// lookups.
+func (e *Engine) ViewCacheStats() CacheStats {
+	return CacheStats{
+		Hits:      e.viewHits.Load(),
+		Misses:    e.viewMisses.Load(),
+		Evictions: e.viewEvictions.Load(),
+		Entries:   int64(e.viewCount.Load()),
+	}
+}
+
+// InFlight returns the number of queries currently holding one of the
+// engine's worker slots (admitted, not yet finished).
+func (e *Engine) InFlight() int { return int(e.inflight.Load()) }
+
+// Capacity returns the engine's admission concurrency: the resolved
+// EngineConfig.Workers, i.e. the maximum number of simultaneously
+// executing queries.
+func (e *Engine) Capacity() int { return cap(e.sem) }
 
 // seed resolves the query's seed per the engine's RNG policy: an explicit
 // Deterministic seed is used verbatim (0 included); otherwise a nonzero

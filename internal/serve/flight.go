@@ -1,0 +1,225 @@
+// Flight collapsing and the whole-query result cache.
+//
+// Every accepted query resolves to a canonical fingerprint
+// (Engine.Fingerprint — the whole-query extension of the predicate
+// fingerprint scheme). Because sampling is deterministic given the
+// resolved seed, identical fingerprints over one table mean identical
+// results, so the server executes each distinct fingerprint at most once
+// at a time: the first subscriber starts a *flight*, later identical
+// queries attach to it and replay its buffered events before following
+// live, and a completed flight's event sequence is retained in a bounded
+// FIFO cache that replays instantly to later arrivals. A flight whose
+// subscribers all depart is canceled, returning its worker slot.
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flightSub is one subscriber's ordered event queue. Events are pushed by
+// the flight's broadcast path (or preloaded from a cache recording) and
+// popped by the connection handler; a slow or departed consumer never
+// blocks the producer.
+type flightSub struct {
+	mu     sync.Mutex
+	queue  []Event
+	closed bool
+	signal chan struct{} // cap 1: wake a waiting next()
+
+	flight *flight // nil for cache replays
+}
+
+// push enqueues one event; no-op after close.
+func (s *flightSub) push(ev Event) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.queue = append(s.queue, ev)
+	s.mu.Unlock()
+	select {
+	case s.signal <- struct{}{}:
+	default:
+	}
+}
+
+// next returns the next event, blocking until one arrives or ctx ends.
+// The second return is false when the subscription is over (context done
+// or the subscriber was closed with an empty queue).
+func (s *flightSub) next(ctx context.Context) (Event, bool) {
+	for {
+		s.mu.Lock()
+		if len(s.queue) > 0 {
+			ev := s.queue[0]
+			s.queue = s.queue[1:]
+			s.mu.Unlock()
+			return ev, true
+		}
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return Event{}, false
+		}
+		select {
+		case <-s.signal:
+		case <-ctx.Done():
+			return Event{}, false
+		}
+	}
+}
+
+// unsubscribe detaches the consumer: the queue stops accepting events and
+// the owning flight drops the reference, canceling itself if this was the
+// last subscriber of a still-running execution.
+func (s *flightSub) unsubscribe() {
+	s.mu.Lock()
+	s.closed = true
+	s.queue = nil
+	s.mu.Unlock()
+	if s.flight != nil {
+		s.flight.drop(s)
+	}
+}
+
+// flight is one shared execution of a distinct query fingerprint.
+type flight struct {
+	key      string
+	accepted Event // the accepted-event template (groups + fingerprint)
+
+	mu     sync.Mutex
+	subs   map[*flightSub]struct{}
+	events []Event // everything broadcast so far, for late joiners
+	done   bool
+	cancel context.CancelFunc
+}
+
+// attach adds a subscriber, replaying the buffered history first. It
+// returns false when the flight already completed (the caller should
+// retry subscription, which will now find the cache entry).
+func (f *flight) attach(s *flightSub) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.done {
+		return false
+	}
+	s.flight = f
+	for _, ev := range f.events {
+		s.push(ev)
+	}
+	f.subs[s] = struct{}{}
+	return true
+}
+
+// broadcast records one event and fans it to every subscriber.
+func (f *flight) broadcast(ev Event) {
+	f.mu.Lock()
+	f.events = append(f.events, ev)
+	subs := make([]*flightSub, 0, len(f.subs))
+	for s := range f.subs {
+		subs = append(subs, s)
+	}
+	if ev.terminal() {
+		f.done = true
+	}
+	f.mu.Unlock()
+	for _, s := range subs {
+		s.push(ev)
+		if ev.terminal() {
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+			select {
+			case s.signal <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// drop removes a departed subscriber, canceling the execution when nobody
+// is left to hear it.
+func (f *flight) drop(s *flightSub) {
+	f.mu.Lock()
+	delete(f.subs, s)
+	abandon := len(f.subs) == 0 && !f.done
+	f.mu.Unlock()
+	if abandon {
+		f.cancel()
+	}
+}
+
+// recording is one completed flight's replayable event sequence.
+type recording struct {
+	accepted Event
+	events   []Event
+}
+
+// flightTable tracks in-flight executions and the bounded result cache.
+type flightTable struct {
+	mu       sync.Mutex
+	active   map[string]*flight
+	cache    map[string]*recording
+	order    []string // FIFO eviction order for cache
+	maxCache int
+}
+
+func newFlightTable(maxCache int) *flightTable {
+	return &flightTable{
+		active:   make(map[string]*flight),
+		cache:    make(map[string]*recording),
+		maxCache: maxCache,
+	}
+}
+
+// lookup returns the cached recording or the active flight for a
+// fingerprint, if either exists.
+func (t *flightTable) lookup(key string) (*recording, *flight) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.cache[key], t.active[key]
+}
+
+// start registers a new flight for key unless one raced in; it returns
+// the flight to run and whether this caller owns the execution.
+func (t *flightTable) start(key string, f *flight) (*flight, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if existing, ok := t.active[key]; ok {
+		return existing, false
+	}
+	t.active[key] = f
+	return f, true
+}
+
+// complete retires a finished flight, caching its recording when the
+// execution ended cleanly (errors — deadlines, cancellations — are not
+// results and must re-execute). Returns the number of evicted entries.
+func (t *flightTable) complete(key string, rec *recording, cacheable bool) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.active, key)
+	if !cacheable || t.maxCache <= 0 {
+		return 0
+	}
+	evicted := 0
+	if _, exists := t.cache[key]; !exists {
+		for len(t.cache) >= t.maxCache {
+			oldest := t.order[0]
+			t.order = t.order[1:]
+			delete(t.cache, oldest)
+			evicted++
+		}
+		t.cache[key] = rec
+		t.order = append(t.order, key)
+	}
+	return evicted
+}
+
+// stats returns the current table sizes.
+func (t *flightTable) stats() (active, cached int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active), len(t.cache)
+}

@@ -240,19 +240,19 @@ type Query struct {
 // actually sampled and are only valid during the call — copy to retain.
 type RoundTrace struct {
 	// Round is the sampling round number m, from 1.
-	Round int
+	Round int `json:"round"`
 	// Epsilon is the widest live confidence half-width.
-	Epsilon float64
+	Epsilon float64 `json:"epsilon"`
 	// GroupEpsilons holds each group's current half-width: its live
 	// radius while sampling, the width its interval was frozen at after
 	// settling. Nil for algorithms that report only the scalar width.
-	GroupEpsilons []float64
+	GroupEpsilons []float64 `json:"group_epsilons,omitempty"`
 	// Active flags the groups still being sampled.
-	Active []bool
+	Active []bool `json:"active"`
 	// Estimates are the current running estimates.
-	Estimates []float64
+	Estimates []float64 `json:"estimates"`
 	// TotalSamples is the cumulative sample count across all groups.
-	TotalSamples int64
+	TotalSamples int64 `json:"total_samples"`
 }
 
 // PredicateOp is the comparison operator of a Where predicate.
@@ -302,21 +302,26 @@ func WhereGroups(names ...string) Predicate {
 // Partial is one streamed partial result: a group whose estimate has
 // settled while the query is still running (§6.2.2). Analysts can start
 // reading the chart before the contentious bars finish.
+//
+// Partials are wire types: the json tags fix the serialized field names
+// (snake_case) independently of the Go identifiers, so network consumers
+// — rapidvizd's WebSocket protocol among them — can rely on a stable
+// payload shape.
 type Partial struct {
 	// Group is the settled group's name; Index its position among the
 	// groups the query actually sampled (for Where queries, the surviving
 	// groups in table order — the same indexing as Result.Names).
-	Group string
-	Index int
+	Group string `json:"group"`
+	Index int    `json:"index"`
 	// Estimate is the group's final estimate.
-	Estimate float64
+	Estimate float64 `json:"estimate"`
 	// Round is the sampling round at which the group settled.
-	Round int
+	Round int `json:"round"`
 	// HalfWidth is the confidence half-width the group's interval was
 	// frozen at when it settled: the estimate is within ±HalfWidth of the
 	// true aggregate with the query's confidence. Per group under
 	// variance-adaptive bounds, the shared ε under the default schedule.
-	HalfWidth float64
+	HalfWidth float64 `json:"half_width"`
 }
 
 // Event is one element of a Stream: either a Partial, or — exactly once,

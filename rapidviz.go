@@ -147,34 +147,39 @@ func (o Options) partial() func(name string, i int, est float64, round int, eps 
 }
 
 // Result reports a run: per-group estimates plus sampling cost.
+//
+// Result is a wire type: the json tags fix stable snake_case field names
+// for network consumers (rapidvizd's HTTP/WebSocket protocol), with the
+// query-specific extensions (Top, SecondEstimates, cells) omitted when
+// empty so the common payload stays small.
 type Result struct {
 	// Names and Estimates are index-aligned; Estimates[i] is ν_i. For
 	// SubGroups queries Estimates is the row-major flattening of
 	// CellEstimates.
-	Names     []string
-	Estimates []float64
+	Names     []string  `json:"names"`
+	Estimates []float64 `json:"estimates"`
 	// SampleCounts are the per-group sample counts m_i; TotalSamples is
 	// their sum (the paper's sample complexity C).
-	SampleCounts []int64
-	TotalSamples int64
+	SampleCounts []int64 `json:"sample_counts"`
+	TotalSamples int64   `json:"total_samples"`
 	// Epsilon is the final confidence half-width: each estimate is within
 	// ±Epsilon of its true average with the run's confidence.
-	Epsilon float64
+	Epsilon float64 `json:"epsilon"`
 	// Rounds is the number of sampling rounds executed.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Capped reports that MaxRounds (or MaxDraws) fired; the guarantee is
 	// void.
-	Capped bool
+	Capped bool `json:"capped,omitempty"`
 	// Top lists the names of the top-T groups, largest estimate first
 	// (GuaranteeTopT queries only).
-	Top []string
+	Top []string `json:"top,omitempty"`
 	// SecondEstimates holds the AVG(Z) estimates of AggAvgPair queries,
 	// index-aligned with Names.
-	SecondEstimates []float64
+	SecondEstimates []float64 `json:"second_estimates,omitempty"`
 	// CellEstimates and CellCounts hold the per-cell results of SubGroups
 	// queries, indexed [group][key].
-	CellEstimates [][]float64
-	CellCounts    [][]int64
+	CellEstimates [][]float64 `json:"cell_estimates,omitempty"`
+	CellCounts    [][]int64   `json:"cell_counts,omitempty"`
 }
 
 // Bars converts the result to renderable bars with error bars. SubGroups
