@@ -1,0 +1,168 @@
+// Command benchguard compares two benchmark result files and flags
+// throughput regressions. It is a warn-only gate: CI runs it after the
+// bench job so a >20% drop in any samples/sec-style metric shows up as a
+// GitHub annotation on the PR, without failing the build — single-shot
+// CI benchmarks (-benchtime 1x) are too noisy to block on.
+//
+// Both inputs may be either raw `go test -bench` output or the
+// `go test -json` stream (as committed in BENCH_core.json); benchmark
+// lines are recognized either way. Only "per second" metrics (ns/op
+// inverted, plus any unit ending in /sec) are compared: they are the
+// higher-is-better numbers the perf roadmap tracks. GOMAXPROCS name
+// suffixes are stripped so a baseline recorded on a different core count
+// still lines up.
+//
+// Usage:
+//
+//	benchguard -baseline BENCH_core.json -current bench_new.json
+//	           [-threshold 0.20] [-strict]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches one benchmark result line: name, iteration count,
+// then value-unit pairs.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+(.*)$`)
+
+// gomaxprocsSuffix strips the trailing -N processor suffix from a
+// benchmark name.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// metrics is unit → value for one benchmark.
+type metrics map[string]float64
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "BENCH_core.json", "baseline benchmark file (raw or -json)")
+		current   = flag.String("current", "", "current benchmark file (raw or -json)")
+		threshold = flag.Float64("threshold", 0.20, "relative drop that triggers a warning")
+		strict    = flag.Bool("strict", false, "exit nonzero when a regression is flagged")
+	)
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
+		os.Exit(2)
+	}
+
+	old, err := parseFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parseFile(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+		os.Exit(2)
+	}
+
+	regressions := 0
+	compared := 0
+	for name, curM := range cur {
+		oldM, ok := old[name]
+		if !ok {
+			continue // new benchmark: nothing to compare against
+		}
+		for unit, curV := range curM {
+			oldV, ok := oldM[unit]
+			if !ok || oldV <= 0 || curV <= 0 {
+				continue
+			}
+			// Compare as throughput: /sec metrics as-is, ns/op inverted.
+			oldT, curT, label := oldV, curV, unit
+			if unit == "ns/op" {
+				oldT, curT, label = 1/oldV, 1/curV, "op/s (from ns/op)"
+			} else if !strings.HasSuffix(unit, "/sec") {
+				continue
+			}
+			compared++
+			if curT < oldT*(1-*threshold) {
+				regressions++
+				fmt.Printf("::warning::benchguard: %s %s regressed %.0f%% (%.4g -> %.4g %s)\n",
+					name, label, 100*(1-curT/oldT), oldV, curV, unit)
+			}
+		}
+	}
+	fmt.Printf("benchguard: compared %d metrics across %d benchmarks, %d regression(s) beyond %.0f%%\n",
+		compared, len(cur), regressions, *threshold*100)
+	if *strict && regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// parseFile reads one benchmark file in either format.
+func parseFile(path string) (map[string]metrics, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	out := map[string]metrics{}
+	record := func(line string) {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			return
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(m[1], "")
+		vals := out[name]
+		if vals == nil {
+			vals = metrics{}
+			out[name] = vals
+		}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break // malformed tail; keep what parsed
+			}
+			vals[fields[i+1]] = v
+		}
+	}
+
+	// test2json splits one benchmark result across output events (the
+	// name fragment ends in a tab, the metrics follow in the next event),
+	// so JSON streams are reassembled into logical lines per package
+	// before matching.
+	partial := map[string]string{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "{") {
+			var ev struct{ Action, Package, Output string }
+			if json.Unmarshal([]byte(line), &ev) == nil && ev.Action == "output" {
+				buf := partial[ev.Package] + ev.Output
+				for {
+					nl := strings.IndexByte(buf, '\n')
+					if nl < 0 {
+						break
+					}
+					record(buf[:nl])
+					buf = buf[nl+1:]
+				}
+				partial[ev.Package] = buf
+				continue
+			}
+		}
+		record(line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, rest := range partial {
+		record(rest)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}

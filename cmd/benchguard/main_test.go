@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseRawBenchOutput(t *testing.T) {
+	path := writeTemp(t, "raw.txt", `
+goos: linux
+BenchmarkIFocus/batch=64-4         	       3	  11832456 ns/op	  13900000 samples/sec
+BenchmarkFilteredDraw/bitmap-dense-4	   90000	     13400 ns/op	  19100000 draws/sec
+PASS
+`)
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got["BenchmarkIFocus/batch=64"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", got)
+	}
+	if m["samples/sec"] != 13900000 || m["ns/op"] != 11832456 {
+		t.Fatalf("bad metrics: %v", m)
+	}
+	if got["BenchmarkFilteredDraw/bitmap-dense"]["draws/sec"] != 19100000 {
+		t.Fatalf("bad metrics: %v", got)
+	}
+}
+
+func TestParseTestJSONStream(t *testing.T) {
+	// test2json splits one result line across events: the bare running
+	// line, then a name fragment ending in a tab, then the metrics; events
+	// from different packages interleave.
+	path := writeTemp(t, "stream.json", `
+{"Action":"start","Package":"repro/internal/core"}
+{"Action":"output","Package":"repro/internal/core","Output":"BenchmarkIFocus/batch=256\n"}
+{"Action":"output","Package":"repro/internal/core","Output":"BenchmarkIFocus/batch=256-8 \t"}
+{"Action":"output","Package":"repro/internal/dataset","Output":"BenchmarkFilteredDraw/unfiltered-8 \t"}
+{"Action":"output","Package":"repro/internal/core","Output":" 2\t 9000000 ns/op\t 8900000 samples/sec\n"}
+{"Action":"output","Package":"repro/internal/dataset","Output":" 5\t 2530 ns/op\t 101000000 draws/sec\n"}
+{"Action":"output","Package":"repro/internal/core","Output":"ok  \trepro/internal/core\t1.2s\n"}
+`)
+	got, err := parseFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["BenchmarkIFocus/batch=256"]["samples/sec"] != 8900000 {
+		t.Fatalf("split bench line not reassembled: %v", got)
+	}
+	if got["BenchmarkFilteredDraw/unfiltered"]["draws/sec"] != 101000000 {
+		t.Fatalf("interleaved package stream misparsed: %v", got)
+	}
+}
+
+func TestParseRejectsEmptyFile(t *testing.T) {
+	path := writeTemp(t, "empty.txt", "no benchmarks here\n")
+	if _, err := parseFile(path); err == nil {
+		t.Fatal("want error for a file with no benchmark lines")
+	}
+}

@@ -44,6 +44,7 @@ func main() {
 		delta     = flag.Float64("delta", 0.1, "failure probability per query")
 		maxRounds = flag.Int("maxrounds", 300, "server round budget per query")
 		traces    = flag.Bool("traces", false, "request throttled per-round trace events")
+		noShare   = flag.Bool("noshare", false, "disable the sample broker (solo baseline runs)")
 		out       = flag.String("out", "BENCH_serve.json", "JSON report path")
 	)
 	flag.Parse()
@@ -56,6 +57,7 @@ func main() {
 		Table:           table,
 		Workers:         *workers,
 		MaxRoundsBudget: *maxRounds,
+		DisableSharing:  *noShare,
 	})
 	if err != nil {
 		log.Fatalf("loadgen: %v", err)
@@ -108,6 +110,11 @@ func main() {
 	elapsed := time.Since(start)
 
 	snap := srv.Metrics().Snapshot()
+	broker := srv.Engine().BrokerStats()
+	brokerReduction := 1.0
+	if broker.SamplesDrawn > 0 {
+		brokerReduction = float64(broker.SamplesServed) / float64(broker.SamplesDrawn)
+	}
 	report := map[string]any{
 		"timestamp":          time.Now().UTC().Format(time.RFC3339),
 		"clients":            *clients,
@@ -128,6 +135,8 @@ func main() {
 		"samples_total":    snap.SamplesTotal,
 		"samples_per_sec":  float64(snap.SamplesTotal) / elapsed.Seconds(),
 		"rounds_total":     snap.RoundsTotal,
+		"broker":           broker,
+		"broker_reduction": brokerReduction,
 		"metrics":          snap,
 	}
 	blob, err := json.MarshalIndent(report, "", "  ")
@@ -144,6 +153,8 @@ func main() {
 		srv.Metrics().AdmissionQuantile(0.99)*1000,
 		float64(snap.SamplesTotal)/elapsed.Seconds(),
 		sources[serve.SourceRun], sources[serve.SourceShared], sources[serve.SourceCached])
+	fmt.Printf("loadgen: broker attached %d queries, drew %d / served %d samples (%.1fx reduction)\n",
+		broker.Attached, broker.SamplesDrawn, broker.SamplesServed, brokerReduction)
 	fmt.Printf("loadgen: report written to %s\n", *out)
 	if failed > 0 {
 		os.Exit(1)

@@ -22,6 +22,11 @@ const (
 	// selectBlockWords is the number of 64-bit words per rank superblock:
 	// the hierarchical layer that gives O(log n) select.
 	selectBlockWords = 64
+	// hintShift: a select hint is stored for every 1<<hintShift ranks,
+	// mapping the rank directly to the word containing its set bit. The
+	// search then runs only between two adjacent hints — a handful of
+	// words at any density — instead of walking the full hierarchy.
+	hintShift = 8
 )
 
 // Bitmap is an uncompressed bitmap over row IDs with a two-level rank index
@@ -31,8 +36,10 @@ type Bitmap struct {
 	words []uint64
 	n     int // number of valid bits
 
-	count int     // cached popcount; -1 when dirty
-	super []int64 // cumulative set bits before each superblock
+	count int      // cached popcount; -1 when dirty
+	super []int64  // cumulative set bits before each superblock
+	sub   []uint16 // per word: set bits before it within its superblock
+	hints []uint32 // per 1<<hintShift ranks: the word holding that set bit
 }
 
 // New returns an empty bitmap over n rows.
@@ -85,6 +92,8 @@ func (b *Bitmap) checkIndex(i int) {
 func (b *Bitmap) dirty() {
 	b.count = -1
 	b.super = nil
+	b.sub = nil
+	b.hints = nil
 }
 
 // Count returns the number of set bits.
@@ -110,10 +119,15 @@ func (b *Bitmap) Index() {
 	}
 }
 
-// buildIndex computes the superblock cumulative counts.
+// buildIndex computes the superblock cumulative counts and the per-word
+// counts within each superblock. The in-block counts fit uint16 (a block
+// holds at most selectBlockWords×64 = 4096 set bits), so the second level
+// costs two bytes per word — 3% of the bitmap itself — and turns the
+// per-query word scan into a binary search.
 func (b *Bitmap) buildIndex() {
 	nSuper := (len(b.words) + selectBlockWords - 1) / selectBlockWords
 	b.super = make([]int64, nSuper+1)
+	b.sub = make([]uint16, len(b.words))
 	var run int64
 	for s := 0; s < nSuper; s++ {
 		b.super[s] = run
@@ -121,20 +135,54 @@ func (b *Bitmap) buildIndex() {
 		if end > len(b.words) {
 			end = len(b.words)
 		}
-		for _, w := range b.words[s*selectBlockWords : end] {
-			run += int64(bits.OnesCount64(w))
+		var within uint16
+		for w := s * selectBlockWords; w < end; w++ {
+			b.sub[w] = within
+			c := uint16(bits.OnesCount64(b.words[w]))
+			within += c
+			run += int64(c)
 		}
 	}
 	b.super[nSuper] = run
 	b.count = int(run)
+
+	// Select hints: hints[h] is the word containing set bit h<<hintShift,
+	// so a select jumps straight to a two-hint word range. Cost is four
+	// bytes per 1<<hintShift set bits — under 2 bits per survivor.
+	if len(b.words) > 0 {
+		b.hints = make([]uint32, (int(run)>>hintShift)+2)
+		h := 0
+		var cum int64
+		for w, word := range b.words {
+			c := int64(bits.OnesCount64(word))
+			for h < len(b.hints) && int64(h)<<hintShift < cum+c {
+				b.hints[h] = uint32(w)
+				h++
+			}
+			cum += c
+		}
+		for ; h < len(b.hints); h++ {
+			b.hints[h] = uint32(len(b.words) - 1)
+		}
+	}
+}
+
+// absCum returns the number of set bits before word w, from the two index
+// levels.
+func (b *Bitmap) absCum(w int) int64 {
+	return b.super[w/selectBlockWords] + int64(b.sub[w])
 }
 
 // Select returns the position of the rank-th set bit (rank counts from 0).
 // This is the core operation behind constant-time random tuple retrieval:
-// pick rank uniformly in [0, Count()) and Select it. The superblock layer
-// is binary-searched (O(log n)), then at most selectBlockWords words are
-// scanned, then the bit within the final word is found with popcount
-// arithmetic.
+// pick rank uniformly in [0, Count()) and Select it. The rank hint table
+// jumps straight to a narrow word range (adjacent hints bound the word no
+// matter the density), a short binary search pins the word, and the bit
+// within it falls out of branchless popcount descent. (The previous
+// single-level index scanned up to selectBlockWords words per call and
+// cleared bits one by one inside the word: on dense filters that walk,
+// repeated once per drawn sample, was the 2.3x filtered-draw slowdown in
+// BENCH_core.json.)
 func (b *Bitmap) Select(rank int) (int, error) {
 	if b.super == nil {
 		b.buildIndex()
@@ -142,49 +190,100 @@ func (b *Bitmap) Select(rank int) (int, error) {
 	if rank < 0 || int64(rank) >= b.super[len(b.super)-1] {
 		return 0, fmt.Errorf("bitmap: select rank %d out of range [0,%d)", rank, b.super[len(b.super)-1])
 	}
-	target := int64(rank)
-	// Binary search for the superblock containing the target rank.
-	lo, hi := 0, len(b.super)-1
-	for lo < hi-1 {
-		mid := (lo + hi) / 2
-		if b.super[mid] <= target {
-			lo = mid
+	return b.selectIndexed(int64(rank)), nil
+}
+
+// selectIndexed maps a validated rank to its bit position using the built
+// index: hint jump, then a binary search for the rightmost word whose
+// cumulative count is ≤ rank — that word holds the bit, because the next
+// word's cumulative count exceeds it.
+func (b *Bitmap) selectIndexed(target int64) int {
+	h := int(target >> hintShift)
+	wlo, whi := int(b.hints[h]), int(b.hints[h+1])
+	for wlo < whi {
+		mid := (wlo + whi + 1) / 2
+		if b.absCum(mid) <= target {
+			wlo = mid
 		} else {
-			hi = mid
+			whi = mid - 1
 		}
 	}
-	remaining := int(target - b.super[lo])
-	start := lo * selectBlockWords
-	for w := start; w < len(b.words); w++ {
-		c := bits.OnesCount64(b.words[w])
-		if remaining < c {
-			return w*wordBits + selectInWord(b.words[w], remaining), nil
-		}
-		remaining -= c
-	}
-	return 0, fmt.Errorf("bitmap: select index corrupt")
+	return wlo*wordBits + selectInWord(b.words[wlo], int(target-b.absCum(wlo)))
 }
 
-// selectInWord returns the position of the rank-th set bit within a word.
+// SelectBatch replaces each entry of ranks — a rank in [0, Count()) — with
+// the position of that rank's set bit, exactly as Select would map it.
+// Batching matters on draw-heavy paths: one Select is a short chain of
+// dependent loads (hint → word range → word), so per-draw calls serialize
+// on memory latency; a batch's chains are independent, letting the CPU
+// overlap many lookups in flight. This is the bulk rank/select path behind
+// block draws on dense filtered groups.
+func (b *Bitmap) SelectBatch(ranks []int32) error {
+	if b.super == nil {
+		b.buildIndex()
+	}
+	total := b.super[len(b.super)-1]
+	for i, rk := range ranks {
+		if rk < 0 || int64(rk) >= total {
+			return fmt.Errorf("bitmap: select rank %d out of range [0,%d)", rk, total)
+		}
+		ranks[i] = int32(b.selectIndexed(int64(rk)))
+	}
+	return nil
+}
+
+// select8 maps (byte value, rank) to the position of the rank-th set bit
+// within the byte. 2KB, shared by every selectInWord call.
+var select8 [256][8]uint8
+
+func init() {
+	for v := 0; v < 256; v++ {
+		rank := 0
+		for pos := 0; pos < 8; pos++ {
+			if v&(1<<pos) != 0 {
+				select8[v][rank] = uint8(pos)
+				rank++
+			}
+		}
+	}
+}
+
+// selectInWord returns the position of the rank-th set bit within a word
+// by broadword byte-lane arithmetic (Vigna's select-in-word): SWAR prefix
+// popcounts locate the byte holding the bit, a lane-parallel ≤ comparison
+// counts the bytes before it, and a 2KB table finishes inside the byte.
+// Branchless and a constant ~15 operations — where the old
+// clear-lowest-bit loop cost rank iterations, quadratic over a word's
+// worth of draws.
 func selectInWord(w uint64, rank int) int {
-	for i := 0; i < rank; i++ {
-		w &= w - 1 // clear lowest set bit
-	}
-	return bits.TrailingZeros64(w)
+	const (
+		l8 = 0x0101010101010101 // one per byte lane
+		h8 = 0x8080808080808080 // lane high bits
+	)
+	// Per-byte popcounts, then inclusive prefix sums across lanes.
+	s := w - w>>1&0x5555555555555555
+	s = s&0x3333333333333333 + s>>2&0x3333333333333333
+	s = (s + s>>4) & 0x0f0f0f0f0f0f0f0f
+	cum := s * l8
+	// Lane-parallel cum ≤ rank (valid while lane values < 128): the target
+	// byte index is the number of lanes whose inclusive prefix is ≤ rank.
+	leq := ((uint64(rank)*l8 | h8) - cum) & h8
+	byteIdx := uint(bits.OnesCount64(leq))
+	prev := cum << 8 >> (byteIdx * 8) & 0xff // set bits before the byte
+	return int(byteIdx*8 + uint(select8[w>>(byteIdx*8)&0xff][uint64(rank)-prev]))
 }
 
-// Rank returns the number of set bits strictly before position i.
+// Rank returns the number of set bits strictly before position i, from
+// three lookups: the superblock prefix, the word's in-block prefix, and a
+// popcount of the word's bits below i.
 func (b *Bitmap) Rank(i int) int {
 	b.checkIndex(i)
 	if b.super == nil {
 		b.buildIndex()
 	}
-	s := i / wordBits / selectBlockWords
-	r := b.super[s]
-	for w := s * selectBlockWords; w < i/wordBits; w++ {
-		r += int64(bits.OnesCount64(b.words[w]))
-	}
-	r += int64(bits.OnesCount64(b.words[i/wordBits] & (1<<uint(i%wordBits) - 1)))
+	wi := i / wordBits
+	r := b.super[wi/selectBlockWords] + int64(b.sub[wi])
+	r += int64(bits.OnesCount64(b.words[wi] & (1<<uint(i%wordBits) - 1)))
 	return int(r)
 }
 

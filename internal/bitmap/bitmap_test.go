@@ -1,6 +1,7 @@
 package bitmap
 
 import (
+	"math/bits"
 	"testing"
 	"testing/quick"
 
@@ -205,6 +206,50 @@ func TestSelectUniformSampling(t *testing.T) {
 		frac := float64(counts[p]) / n
 		if frac < 0.17 || frac > 0.23 {
 			t.Fatalf("position %d drawn %v of the time, want ~0.2", p, frac)
+		}
+	}
+}
+
+func TestSelectInWordMatchesNaive(t *testing.T) {
+	// The binary-descent selectInWord must agree with the obvious
+	// clear-lowest-bit definition for every rank of random words,
+	// including the all-ones and single-bit extremes.
+	naive := func(w uint64, rank int) int {
+		for i := 0; i < rank; i++ {
+			w &= w - 1
+		}
+		return bits.TrailingZeros64(w)
+	}
+	r := xrand.New(7)
+	words := []uint64{^uint64(0), 1, 1 << 63, 0x8000000000000001}
+	for i := 0; i < 500; i++ {
+		words = append(words, r.Uint64())
+	}
+	for _, w := range words {
+		for rank := 0; rank < bits.OnesCount64(w); rank++ {
+			if got, want := selectInWord(w, rank), naive(w, rank); got != want {
+				t.Fatalf("selectInWord(%#x, %d) = %d, want %d", w, rank, got, want)
+			}
+		}
+	}
+}
+
+func TestSelectRankDense(t *testing.T) {
+	// A fully dense bitmap is the worst case the word-scan select paid
+	// for: every select must still land exactly, across superblock and
+	// word boundaries.
+	n := 3*64*selectBlockWords + 17
+	b := New(n)
+	for i := 0; i < n; i++ {
+		b.Set(i)
+	}
+	for _, rank := range []int{0, 1, 63, 64, 4095, 4096, 8191, 8192, n - 1} {
+		pos, err := b.Select(rank)
+		if err != nil || pos != rank {
+			t.Fatalf("dense Select(%d) = %d, %v", rank, pos, err)
+		}
+		if b.Rank(rank) != rank {
+			t.Fatalf("dense Rank(%d) = %d", rank, b.Rank(rank))
 		}
 	}
 }

@@ -21,7 +21,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/conc"
 	"repro/internal/dataset"
@@ -95,6 +94,17 @@ type Options struct {
 	// with BatchSize ≥ 64 so each parallel task is a dense block. 0 and 1
 	// draw inline on the calling goroutine. Negative values are invalid.
 	Workers int
+	// Draws, when non-nil, feeds the run from a shared offset-addressed
+	// draw source (dataset.Broker) instead of private per-group streams:
+	// the sampler serves group i's j-th draw from Draws.Fill(i, j, ·), so
+	// any number of concurrent runs over sources built from the same
+	// resolved seed fold the same physical draws — the N×samples → ~1×
+	// sharing lever. Because a group's stream draws are a pure function of
+	// (seed, group index, offset), a broker-fed run is bit-for-bit
+	// identical to a solo run with the same seed. Only sampler-native draw
+	// paths can be fed this way; Run rejects specs with custom draw hooks
+	// (pair draws, normalized draws, tuple sampling).
+	Draws dataset.DrawSource
 	// Tracer, when non-nil, observes every round (used by the convergence
 	// experiments behind Figures 5(c) and 6(a)).
 	Tracer Tracer
@@ -268,18 +278,35 @@ func (iv interval) overlaps(other interval) bool {
 // [est−eps, est+eps] is disjoint from every other listed index's interval.
 // Because all intervals share the same half-width, index i is isolated iff
 // the gap between its estimate and both sorted neighbours exceeds 2ε.
-// Runs in O(n log n).
-func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolated []bool) {
+//
+// order is caller-owned scratch for the sorted index permutation, reused
+// across rounds and returned (possibly regrown): the sweep runs every
+// round, and a per-call slice plus sort.Slice's closure were the round
+// loop's only steady-state allocations — measurable as the batch-size
+// throughput cliff, since their cost is per round, not per sample. The
+// sort is a stable insertion sort: alloc-free, and n is the number of
+// still-active groups — a chart's bar count — where its constant factor
+// beats the libsort dispatch. Tie order cannot change the result (tied
+// estimates have gap 0 ≤ 2ε, so neither neighbour check passes).
+func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolated []bool, order []int) []int {
 	n := len(indices)
 	if n <= 1 {
 		for _, idx := range indices {
 			isolated[idx] = true
 		}
-		return
+		return order
 	}
-	order := make([]int, n)
-	copy(order, indices)
-	sort.Slice(order, func(a, b int) bool { return estimates[order[a]] < estimates[order[b]] })
+	order = append(order[:0], indices...)
+	for i := 1; i < n; i++ {
+		x := order[i]
+		kx := estimates[x]
+		j := i - 1
+		for j >= 0 && estimates[order[j]] > kx {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = x
+	}
 	for pos, idx := range order {
 		ok := true
 		if pos > 0 && estimates[idx]-estimates[order[pos-1]] <= 2*eps {
@@ -290,6 +317,7 @@ func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolate
 		}
 		isolated[idx] = ok
 	}
+	return order
 }
 
 // isolatedGeneral reports, for every interval, whether it is disjoint from
@@ -297,21 +325,37 @@ func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolate
 // per-group widths differ. Sorting by lower endpoint reduces the check to
 // two neighbour comparisons per interval — the running maximum of earlier
 // upper endpoints and the successor's lower endpoint — so the sweep costs
-// O(n log n) where the previous pairwise check cost O(n²) every round.
-func isolatedGeneral(ivs []interval, isolated []bool) {
+// two neighbour comparisons per interval where the previous pairwise check
+// cost O(n²) every round.
+//
+// Like isolatedEqualWidth, order is caller-owned scratch returned for
+// reuse, and the sort is an alloc-free stable insertion sort over the
+// group count; tie order among equal lower endpoints cannot change the
+// result (the running-max and next-lo comparisons are ≥/≤ against values,
+// not positions, so any permutation of ties sees the same outcomes).
+func isolatedGeneral(ivs []interval, isolated []bool, order []int) []int {
 	n := len(ivs)
 	switch n {
 	case 0:
-		return
+		return order
 	case 1:
 		isolated[0] = true
-		return
+		return order
 	}
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+	order = order[:0]
+	for i := 0; i < n; i++ {
+		order = append(order, i)
 	}
-	sort.Slice(order, func(a, b int) bool { return ivs[order[a]].lo < ivs[order[b]].lo })
+	for i := 1; i < n; i++ {
+		x := order[i]
+		lo := ivs[x].lo
+		j := i - 1
+		for j >= 0 && ivs[order[j]].lo > lo {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = x
+	}
 	// An interval overlaps some predecessor (in lo order) iff the running
 	// max of predecessor his reaches its lo, and overlaps some successor
 	// iff the very next lo is at or below its hi — later los only grow.
@@ -329,6 +373,7 @@ func isolatedGeneral(ivs []interval, isolated []bool) {
 			prevMaxHi = ivs[idx].hi
 		}
 	}
+	return order
 }
 
 // newSchedule builds the ε schedule for a run, deriving the population term

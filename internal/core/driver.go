@@ -122,6 +122,7 @@ type roundLoop struct {
 	bufs    [][]float64 // per-worker block draw buffers
 
 	ivsBuf   []interval // scratch for the unequal-width sweep
+	orderBuf []int      // scratch for the isolation sweeps' sort permutation
 	traceEps []float64  // scratch per-group widths handed to GroupTracer
 }
 
@@ -136,7 +137,18 @@ func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo round
 	if workers > k {
 		workers = k
 	}
-	sampler := dataset.NewStreamSampler(u, rng.Uint64(), !opts.WithReplacement)
+	// Draw discipline: private per-group streams by default; a shared
+	// offset-addressed source (broker) when the caller supplies one. A
+	// broker built from the same resolved seed serves exactly the values
+	// the private streams would draw — the one rng.Uint64() below is the
+	// solo path's stream base, and brokers derive theirs from the same
+	// seed — so the two paths are interchangeable bit for bit.
+	var sampler *dataset.Sampler
+	if opts.Draws != nil {
+		sampler = dataset.NewSourceSampler(u, opts.Draws, !opts.WithReplacement)
+	} else {
+		sampler = dataset.NewStreamSampler(u, rng.Uint64(), !opts.WithReplacement)
+	}
 	bound := newRunBound(u, opts)
 	var epsG []float64
 	if bound != nil {
@@ -415,7 +427,7 @@ func (lp *roundLoop) width(i int) float64 {
 func (lp *roundLoop) settleIsolated() {
 	lp.actIdx = activeIndices(lp.active, lp.actIdx)
 	if lp.bound == nil {
-		isolatedEqualWidth(lp.actIdx, lp.estimates, lp.eps, lp.isolated)
+		lp.orderBuf = isolatedEqualWidth(lp.actIdx, lp.estimates, lp.eps, lp.isolated, lp.orderBuf)
 	} else {
 		lp.isolatedUnequal()
 	}
@@ -438,7 +450,7 @@ func (lp *roundLoop) isolatedUnequal() {
 		ivs = append(ivs, interval{lp.estimates[i] - w, lp.estimates[i] + w})
 	}
 	lp.ivsBuf = ivs
-	isolatedGeneral(ivs, lp.isolated)
+	lp.orderBuf = isolatedGeneral(ivs, lp.isolated, lp.orderBuf)
 }
 
 // resolutionExit applies the Problem 2 relaxation. Under the shared

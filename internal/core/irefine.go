@@ -42,6 +42,7 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 	active := make([]bool, k)
 	settled := make([]int, k)
 	isolated := make([]bool, k)
+	var orderBuf []int
 	buf := make([]float64, drawChunk)
 
 	// Initialization (Lines 1–4): the whole domain is the first interval.
@@ -83,7 +84,7 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 		for i := 0; i < k; i++ {
 			ivs[i] = interval{estimates[i] - epsilons[i], estimates[i] + epsilons[i]}
 		}
-		isolatedGeneral(ivs, isolated)
+		orderBuf = isolatedGeneral(ivs, isolated, orderBuf)
 		for i := 0; i < k; i++ {
 			if !active[i] {
 				continue

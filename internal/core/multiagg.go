@@ -132,6 +132,7 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 	numActive := k
 	rounds := 0
 	ivs := make([]interval, k)
+	var orderBuf []int
 	for numActive > 0 {
 		if err := opts.interrupted(); err != nil {
 			return nil, err
@@ -150,7 +151,7 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 			}
 			ivs[i] = interval{estZ[i] - w, estZ[i] + w}
 		}
-		isolatedGeneral(ivs, isolated)
+		orderBuf = isolatedGeneral(ivs, isolated, orderBuf)
 		progress := false
 		for i := 0; i < k; i++ {
 			if !activeZ[i] {

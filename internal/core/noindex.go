@@ -127,6 +127,7 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 	counts := make([]int64, k)
 	isolated := make([]bool, k)
 	ivs := make([]interval, k)
+	var orderBuf []int
 	// Tracer support: table-wide draws never deactivate a group, so every
 	// group reports as live; widths go to GroupTracer implementations.
 	var traceActive []bool
@@ -198,7 +199,7 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 						opts.Tracer.OnRound(round, maxEps, traceActive, estimates, total)
 					}
 				}
-				isolatedGeneral(ivs, isolated)
+				orderBuf = isolatedGeneral(ivs, isolated, orderBuf)
 				done := true
 				for i := 0; i < k; i++ {
 					if !isolated[i] {

@@ -98,6 +98,7 @@ func (v *View) View() []Group {
 			cp := *fg
 			cp.perm = nil
 			cp.next = 0
+			cp.rows = nil
 			fresh[i] = &cp
 		case *TableGroup:
 			cp := *fg
@@ -255,6 +256,10 @@ type FilteredGroup struct {
 
 	perm []int32
 	next int
+	// rows is per-query scratch for staged block draws (ranks, then
+	// positions). Like perm it is draw state: never shared across the
+	// copies View() hands out.
+	rows []int32
 }
 
 // Name returns the group's name.
@@ -273,12 +278,40 @@ func (g *FilteredGroup) Draw(r *xrand.RNG) float64 {
 	return g.col[g.sel.row(r.Intn(g.sel.count))]
 }
 
-// DrawBatch fills dst with uniform with-replacement samples.
+// DrawBatch fills dst with uniform with-replacement samples. The block is
+// staged — draw every rank, map all ranks to rows at once, then gather —
+// so on the bitmap representation the rank→row searches and the column
+// loads run as independent chains the CPU can overlap, instead of one
+// long serial latency chain per draw. RNG consumption is identical to the
+// per-draw loop (one Intn per sample, in order), so results are
+// bit-for-bit unchanged.
 func (g *FilteredGroup) DrawBatch(r *xrand.RNG, dst []float64) {
 	n := g.sel.count
-	for i := range dst {
-		dst[i] = g.col[g.sel.row(r.Intn(n))]
+	if g.sel.bits == nil {
+		for i := range dst {
+			dst[i] = g.col[g.sel.idx[r.Intn(n)]]
+		}
+		return
 	}
+	rows := g.rowScratch(len(dst))
+	for i := range rows {
+		rows[i] = int32(r.Intn(n))
+	}
+	if err := g.sel.bits.SelectBatch(rows); err != nil {
+		panic(err) // ranks < count by construction
+	}
+	for i, row := range rows {
+		dst[i] = g.col[row]
+	}
+}
+
+// rowScratch returns the group's staging buffer with length n.
+func (g *FilteredGroup) rowScratch(n int) []int32 {
+	if cap(g.rows) < n {
+		g.rows = make([]int32, n)
+	}
+	g.rows = g.rows[:n]
+	return g.rows
 }
 
 // DrawWithoutReplacement consumes a uniform random permutation of the
@@ -297,7 +330,9 @@ func (g *FilteredGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
 }
 
 // DrawBatchWithoutReplacement consumes up to len(dst) further permutation
-// elements, returning how many it produced.
+// elements, returning how many it produced. Like DrawBatch, the block is
+// staged: the Fisher–Yates steps (inherently sequential) run first, then
+// the rank→row mapping and column gather proceed as overlappable batches.
 func (g *FilteredGroup) DrawBatchWithoutReplacement(r *xrand.RNG, dst []float64) int {
 	n := g.sel.count
 	if g.next >= n {
@@ -305,10 +340,28 @@ func (g *FilteredGroup) DrawBatchWithoutReplacement(r *xrand.RNG, dst []float64)
 	}
 	g.ensurePerm()
 	taken := 0
+	if g.sel.bits != nil {
+		rows := g.rowScratch(len(dst))
+		for taken < len(dst) && g.next < n {
+			j := g.next + r.Intn(n-g.next)
+			g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
+			rows[taken] = g.perm[g.next]
+			g.next++
+			taken++
+		}
+		rows = rows[:taken]
+		if err := g.sel.bits.SelectBatch(rows); err != nil {
+			panic(err) // permutation ranks < count by construction
+		}
+		for i, row := range rows {
+			dst[i] = g.col[row]
+		}
+		return taken
+	}
 	for taken < len(dst) && g.next < n {
 		j := g.next + r.Intn(n-g.next)
 		g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
-		dst[taken] = g.col[g.sel.row(int(g.perm[g.next]))]
+		dst[taken] = g.col[g.sel.idx[g.perm[g.next]]]
 		g.next++
 		taken++
 	}

@@ -416,3 +416,79 @@ func TestStreamClientAbandonment(t *testing.T) {
 	t.Fatalf("abandoned query not reaped: %d flights active, %d in flight",
 		active, srv.Engine().InFlight())
 }
+
+// TestBrokerSharingAcrossFingerprints pins the piece the flight table
+// cannot do: two queries with different fingerprints (different δ) never
+// collapse into one flight, but they still share one sample broker —
+// same table, filter, and seed — and the sharing is observable on
+// /metrics. It also pins that a DisableSharing server returns the exact
+// same result, since the broker never changes answers.
+func TestBrokerSharingAcrossFingerprints(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	reqA := QueryRequest{Delta: 0.05, BatchSize: 64, Seed: 21}
+	reqB := QueryRequest{Delta: 0.2, BatchSize: 64, Seed: 21}
+
+	var wg sync.WaitGroup
+	results := make([]*rapidviz.Result, 2)
+	for i, req := range []QueryRequest{reqA, reqB} {
+		wg.Add(1)
+		go func(i int, req QueryRequest) {
+			defer wg.Done()
+			events := streamQuery(t, wsURL(ts), req)
+			results[i] = events[len(events)-1].Result
+		}(i, req)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("query %d got no result", i)
+		}
+	}
+
+	snap := srv.Metrics().Snapshot()
+	if snap.CacheMisses != 2 {
+		t.Fatalf("distinct fingerprints must not collapse: %d fresh executions", snap.CacheMisses)
+	}
+	bs := srv.Engine().BrokerStats()
+	if bs.Attached != 2 {
+		t.Fatalf("both flights should attach to the broker layer, got %d", bs.Attached)
+	}
+	if bs.Active != 0 {
+		t.Fatalf("brokers leaked: %d active after completion", bs.Active)
+	}
+	if bs.SamplesServed < bs.SamplesDrawn || bs.SamplesDrawn <= 0 {
+		t.Fatalf("implausible broker counters: %+v", bs)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, metric := range []string{
+		"rapidvizd_broker_active 0",
+		"rapidvizd_broker_subscribers_total 2",
+		"rapidvizd_broker_samples_drawn_total",
+		"rapidvizd_broker_samples_served_total",
+	} {
+		if !strings.Contains(string(prom), metric) {
+			t.Fatalf("metrics exposition missing %q", metric)
+		}
+	}
+
+	// A server with the broker disabled answers identically: sharing is
+	// a cost optimization, never a semantic one.
+	srvOff, tsOff := newTestServer(t, Config{DisableSharing: true})
+	events := streamQuery(t, wsURL(tsOff), reqA)
+	off := events[len(events)-1].Result
+	if off == nil {
+		t.Fatal("DisableSharing query got no result")
+	}
+	if fmt.Sprint(off.Estimates) != fmt.Sprint(results[0].Estimates) {
+		t.Fatalf("DisableSharing changed the answer: %v vs %v", off.Estimates, results[0].Estimates)
+	}
+	if bs := srvOff.Engine().BrokerStats(); bs.Attached != 0 {
+		t.Fatalf("DisableSharing server still attached %d brokers", bs.Attached)
+	}
+}
