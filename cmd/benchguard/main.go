@@ -12,9 +12,16 @@
 // suffixes are stripped so a baseline recorded on a different core count
 // still lines up.
 //
+// It also understands the serve-load report loadgen writes
+// (BENCH_serve.json): pass -serve-baseline/-serve-current to compare the
+// service-level numbers — p99 admission wait (lower is better) and
+// sustained samples/sec (higher is better) — under the same warn-only
+// threshold.
+//
 // Usage:
 //
 //	benchguard -baseline BENCH_core.json -current bench_new.json
+//	           [-serve-baseline BENCH_serve.json -serve-current serve_new.json]
 //	           [-threshold 0.20] [-strict]
 package main
 
@@ -42,30 +49,54 @@ type metrics map[string]float64
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "BENCH_core.json", "baseline benchmark file (raw or -json)")
-		current   = flag.String("current", "", "current benchmark file (raw or -json)")
-		threshold = flag.Float64("threshold", 0.20, "relative drop that triggers a warning")
-		strict    = flag.Bool("strict", false, "exit nonzero when a regression is flagged")
+		baseline      = flag.String("baseline", "BENCH_core.json", "baseline benchmark file (raw or -json)")
+		current       = flag.String("current", "", "current benchmark file (raw or -json)")
+		serveBaseline = flag.String("serve-baseline", "", "baseline serve-load report (loadgen JSON)")
+		serveCurrent  = flag.String("serve-current", "", "current serve-load report (loadgen JSON)")
+		threshold     = flag.Float64("threshold", 0.20, "relative drop that triggers a warning")
+		strict        = flag.Bool("strict", false, "exit nonzero when a regression is flagged")
 	)
 	flag.Parse()
-	if *current == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: -current is required")
-		os.Exit(2)
-	}
-
-	old, err := parseFile(*baseline)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
-		os.Exit(2)
-	}
-	cur, err := parseFile(*current)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+	haveServe := *serveBaseline != "" && *serveCurrent != ""
+	if *current == "" && !haveServe {
+		fmt.Fprintln(os.Stderr, "benchguard: -current (or -serve-baseline with -serve-current) is required")
 		os.Exit(2)
 	}
 
 	regressions := 0
-	compared := 0
+	if *current != "" {
+		old, err := parseFile(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		cur, err := parseFile(*current)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		r, compared := compareBench(old, cur, *threshold)
+		regressions += r
+		fmt.Printf("benchguard: compared %d metrics across %d benchmarks, %d regression(s) beyond %.0f%%\n",
+			compared, len(cur), r, *threshold*100)
+	}
+	if haveServe {
+		r, compared, err := compareServe(*serveBaseline, *serveCurrent, *threshold)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		regressions += r
+		fmt.Printf("benchguard: compared %d serve metrics, %d regression(s) beyond %.0f%%\n",
+			compared, r, *threshold*100)
+	}
+	if *strict && regressions > 0 {
+		os.Exit(1)
+	}
+}
+
+// compareBench flags throughput drops between two parsed benchmark files.
+func compareBench(old, cur map[string]metrics, threshold float64) (regressions, compared int) {
 	for name, curM := range cur {
 		oldM, ok := old[name]
 		if !ok {
@@ -84,18 +115,68 @@ func main() {
 				continue
 			}
 			compared++
-			if curT < oldT*(1-*threshold) {
+			if curT < oldT*(1-threshold) {
 				regressions++
 				fmt.Printf("::warning::benchguard: %s %s regressed %.0f%% (%.4g -> %.4g %s)\n",
 					name, label, 100*(1-curT/oldT), oldV, curV, unit)
 			}
 		}
 	}
-	fmt.Printf("benchguard: compared %d metrics across %d benchmarks, %d regression(s) beyond %.0f%%\n",
-		compared, len(cur), regressions, *threshold*100)
-	if *strict && regressions > 0 {
-		os.Exit(1)
+	return regressions, compared
+}
+
+// serveReport is the slice of loadgen's JSON report benchguard tracks.
+type serveReport struct {
+	AdmissionWaitMS struct {
+		P99 float64 `json:"p99"`
+	} `json:"admission_wait_ms"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// compareServe flags service-level regressions between two loadgen
+// reports: p99 admission wait rising, or sustained samples/sec dropping,
+// beyond the threshold. Metrics absent (zero) on either side are skipped —
+// a degenerate load run should not spray warnings.
+func compareServe(baselinePath, currentPath string, threshold float64) (regressions, compared int, err error) {
+	old, err := parseServe(baselinePath)
+	if err != nil {
+		return 0, 0, err
 	}
+	cur, err := parseServe(currentPath)
+	if err != nil {
+		return 0, 0, err
+	}
+	if old.SamplesPerSec > 0 && cur.SamplesPerSec > 0 {
+		compared++
+		if cur.SamplesPerSec < old.SamplesPerSec*(1-threshold) {
+			regressions++
+			fmt.Printf("::warning::benchguard: serve samples/sec regressed %.0f%% (%.4g -> %.4g)\n",
+				100*(1-cur.SamplesPerSec/old.SamplesPerSec), old.SamplesPerSec, cur.SamplesPerSec)
+		}
+	}
+	oldP99, curP99 := old.AdmissionWaitMS.P99, cur.AdmissionWaitMS.P99
+	if oldP99 > 0 && curP99 > 0 {
+		compared++
+		if curP99 > oldP99*(1+threshold) {
+			regressions++
+			fmt.Printf("::warning::benchguard: serve p99 admission wait regressed %.0f%% (%.4g -> %.4g ms)\n",
+				100*(curP99/oldP99-1), oldP99, curP99)
+		}
+	}
+	return regressions, compared, nil
+}
+
+// parseServe reads one loadgen JSON report.
+func parseServe(path string) (*serveReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep serveReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
 }
 
 // parseFile reads one benchmark file in either format.

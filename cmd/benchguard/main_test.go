@@ -63,6 +63,57 @@ func TestParseTestJSONStream(t *testing.T) {
 	}
 }
 
+const serveBaselineJSON = `{
+  "admission_wait_ms": {"p50": 10.0, "p95": 40.0, "p99": 50.0},
+  "samples_per_sec": 8000000.0,
+  "query_latency_ms": {"p50": 80.0, "p95": 230.0, "p99": 240.0}
+}`
+
+func TestCompareServeCleanRun(t *testing.T) {
+	base := writeTemp(t, "base.json", serveBaselineJSON)
+	cur := writeTemp(t, "cur.json", `{
+  "admission_wait_ms": {"p99": 52.0},
+  "samples_per_sec": 7500000.0
+}`)
+	regressions, compared, err := compareServe(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 || regressions != 0 {
+		t.Fatalf("compared=%d regressions=%d, want 2/0", compared, regressions)
+	}
+}
+
+func TestCompareServeFlagsRegressions(t *testing.T) {
+	base := writeTemp(t, "base.json", serveBaselineJSON)
+	cur := writeTemp(t, "cur.json", `{
+  "admission_wait_ms": {"p99": 75.0},
+  "samples_per_sec": 5000000.0
+}`)
+	regressions, compared, err := compareServe(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 2 || regressions != 2 {
+		t.Fatalf("compared=%d regressions=%d, want both metrics flagged", compared, regressions)
+	}
+}
+
+func TestCompareServeSkipsMissingMetrics(t *testing.T) {
+	base := writeTemp(t, "base.json", serveBaselineJSON)
+	cur := writeTemp(t, "cur.json", `{"samples_per_sec": 8100000.0}`)
+	regressions, compared, err := compareServe(base, cur, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compared != 1 || regressions != 0 {
+		t.Fatalf("compared=%d regressions=%d; absent p99 must be skipped, not flagged", compared, regressions)
+	}
+	if _, _, err := compareServe(base, writeTemp(t, "bad.json", "not json"), 0.20); err == nil {
+		t.Fatal("want error for malformed serve report")
+	}
+}
+
 func TestParseRejectsEmptyFile(t *testing.T) {
 	path := writeTemp(t, "empty.txt", "no benchmarks here\n")
 	if _, err := parseFile(path); err == nil {

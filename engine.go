@@ -335,13 +335,18 @@ func (e *Engine) run(ctx context.Context, q Query, groups []Group, onPartial fun
 		workers, release := e.borrowWorkers()
 		spec.Workers = workers
 		defer release()
-	case q.BatchSize >= autoParallelMinBatch || q.RoundGrowth > 1:
+	case q.BatchSize == 0 || q.BatchSize >= autoParallelMinBatch || q.RoundGrowth > 1:
 		// Auto fan-out only pays for dense rounds: at the scalar schedule
 		// the per-round pool dispatch dwarfs the one-sample draws it
-		// would parallelize (measured several-fold slower), so BatchSize
-		// below the threshold keeps the inline path unless the query
-		// explicitly asks for workers. RoundGrowth qualifies because its
-		// blocks grow dense within a few rounds regardless of BatchSize.
+		// would parallelize (measured several-fold slower), so small
+		// explicit BatchSize keeps the inline path unless the query
+		// explicitly asks for workers. BatchSize 0 (the auto-batch
+		// doubling schedule) and RoundGrowth qualify because their blocks
+		// grow dense within a few rounds. The worker count sizes a cap,
+		// not a commitment: the core driver's per-round volume gate and
+		// timing probe still fall back to the sequential loop whenever
+		// fan-out would not pay, so handing workers to a query that turns
+		// out to run small rounds costs nothing.
 		spec.Workers = e.idleWorkers()
 	}
 	// Attach to (or create) the table's shared draw stream when the query
@@ -836,6 +841,16 @@ func (e *Engine) spec(q Query, u *dataset.Universe, groups []Group) (core.Spec, 
 	opts.WithReplacement = q.WithReplacement
 	opts.MaxRounds = q.MaxRounds
 	opts.BatchSize = q.BatchSize
+	if q.BatchSize == 0 && q.Algorithm != AlgoNoIndex {
+		// BatchSize 0 means auto: the round driver's deterministic
+		// doubling schedule (64 → 4096). NOINDEX is excluded because its
+		// batch scales the interval-check cadence — a result-changing
+		// knob, so it keeps the scalar default; the exact scan, IREFINE,
+		// and cell runs ignore BatchSize either way. Queries that need
+		// the paper's one-sample rounds ask for BatchSize=1 explicitly
+		// (the deprecated free functions do).
+		opts.BatchSize = core.BatchAuto
+	}
 	opts.RoundGrowth = q.RoundGrowth
 	opts.Bound = conc.Kind(q.ConfidenceBound)
 	if q.OnRound != nil {

@@ -46,8 +46,10 @@ func TestRoundRobinCancellation(t *testing.T) {
 // TestRoundRobinMaxRounds: the cap must terminate a never-separating
 // ROUNDROBIN run and be reported via Capped.
 func TestRoundRobinMaxRounds(t *testing.T) {
+	// BatchSize pinned to 1: the assertion counts exactly one draw per
+	// group per round, which the auto-batch default would inflate.
 	res, err := rapidviz.DefaultEngine().Run(context.Background(),
-		rapidviz.Query{Algorithm: rapidviz.AlgoRoundRobin, Bound: 100, MaxRounds: 100},
+		rapidviz.Query{Algorithm: rapidviz.AlgoRoundRobin, Bound: 100, MaxRounds: 100, BatchSize: 1},
 		equalMeanGroups(3))
 	if err != nil {
 		t.Fatal(err)
@@ -98,39 +100,69 @@ func TestNoIndexMaxDraws(t *testing.T) {
 	}
 }
 
-// TestQueryBatchSizeOnePins: at the engine level, BatchSize 0 and 1 must
-// be seed-for-seed identical across algorithms and aggregates.
-func TestQueryBatchSizeOnePins(t *testing.T) {
+// TestQueryBatchSizeDefaults: leaving BatchSize unset selects the
+// deterministic auto-batch schedule on round algorithms — seed-for-seed
+// reproducible and far fewer rounds than the scalar cadence — while
+// NOINDEX (whose check cadence scales with the batch, changing results)
+// and IREFINE (which ignores batching) keep the unset ≡ 1 identity.
+func TestQueryBatchSizeDefaults(t *testing.T) {
 	means := []float64{15, 35, 55, 80}
-	queries := map[string]rapidviz.Query{
+	run := func(t *testing.T, q rapidviz.Query) *rapidviz.Result {
+		t.Helper()
+		res, err := rapidviz.DefaultEngine().Run(context.Background(), q, mkGroups(means, 20_000, 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	same := func(t *testing.T, a, b *rapidviz.Result, what string) {
+		t.Helper()
+		if a.TotalSamples != b.TotalSamples || a.Rounds != b.Rounds {
+			t.Fatalf("%s diverged: %d/%d vs %d/%d samples/rounds",
+				what, a.TotalSamples, a.Rounds, b.TotalSamples, b.Rounds)
+		}
+		for i := range a.Estimates {
+			if a.Estimates[i] != b.Estimates[i] {
+				t.Fatalf("%s estimate %d differs: %v vs %v", what, i, a.Estimates[i], b.Estimates[i])
+			}
+		}
+	}
+
+	autoQueries := map[string]rapidviz.Query{
 		"ifocus":     {Bound: 100, Seed: 51},
 		"roundrobin": {Algorithm: rapidviz.AlgoRoundRobin, Bound: 100, Seed: 51},
-		"irefine":    {Algorithm: rapidviz.AlgoIRefine, Bound: 100, Seed: 51},
 		"trend":      {Guarantee: rapidviz.GuaranteeTrend, Bound: 100, Seed: 51},
 		"sum":        {Aggregate: rapidviz.AggSum, Bound: 100, Seed: 51},
-		"noindex":    {Algorithm: rapidviz.AlgoNoIndex, Bound: 100, Seed: 51},
 	}
-	for name, q := range queries {
+	for name, q := range autoQueries {
 		t.Run(name, func(t *testing.T) {
-			base, err := rapidviz.DefaultEngine().Run(context.Background(), q, mkGroups(means, 20_000, 50))
-			if err != nil {
-				t.Fatal(err)
-			}
+			base := run(t, q)
+			again := run(t, q)
+			same(t, base, again, "repeat auto run")
 			q1 := q
 			q1.BatchSize = 1
-			one, err := rapidviz.DefaultEngine().Run(context.Background(), q1, mkGroups(means, 20_000, 50))
-			if err != nil {
-				t.Fatal(err)
+			scalar := run(t, q1)
+			if base.Rounds >= scalar.Rounds {
+				t.Fatalf("auto batch used %d rounds vs scalar %d; want fewer", base.Rounds, scalar.Rounds)
 			}
-			if base.TotalSamples != one.TotalSamples || base.Rounds != one.Rounds {
-				t.Fatalf("BatchSize=1 diverged: %d/%d vs %d/%d samples/rounds",
-					one.TotalSamples, one.Rounds, base.TotalSamples, base.Rounds)
-			}
-			for i := range base.Estimates {
-				if base.Estimates[i] != one.Estimates[i] {
-					t.Fatalf("estimate %d differs: %v vs %v", i, one.Estimates[i], base.Estimates[i])
+			for i := 1; i < len(means); i++ {
+				if base.Estimates[i] <= base.Estimates[i-1] {
+					t.Fatalf("auto-batch estimates misordered: %v", base.Estimates)
 				}
 			}
+		})
+	}
+
+	pinnedQueries := map[string]rapidviz.Query{
+		"irefine": {Algorithm: rapidviz.AlgoIRefine, Bound: 100, Seed: 51},
+		"noindex": {Algorithm: rapidviz.AlgoNoIndex, Bound: 100, Seed: 51},
+	}
+	for name, q := range pinnedQueries {
+		t.Run(name, func(t *testing.T) {
+			base := run(t, q)
+			q1 := q
+			q1.BatchSize = 1
+			same(t, base, run(t, q1), "BatchSize=1")
 		})
 	}
 }
@@ -140,7 +172,7 @@ func TestQueryBatchSizeOnePins(t *testing.T) {
 func TestQueryBatchedRun(t *testing.T) {
 	means := []float64{15, 35, 55, 80}
 	scalar, err := rapidviz.DefaultEngine().Run(context.Background(),
-		rapidviz.Query{Bound: 100, Seed: 52}, mkGroups(means, 20_000, 50))
+		rapidviz.Query{Bound: 100, Seed: 52, BatchSize: 1}, mkGroups(means, 20_000, 50))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -67,6 +67,10 @@ func TestWrapperQueryEquivalence(t *testing.T) {
 			}
 			q := tc.query
 			q.Bound, q.Seed = opts.Bound, opts.Seed
+			// The deprecated wrappers promise scalar-cadence identity with
+			// the paper-faithful originals, so they pin BatchSize to 1; the
+			// Query side must match rather than pick up the auto default.
+			q.BatchSize = 1
 			modern, err := eng.Run(context.Background(), q, build())
 			if err != nil {
 				t.Fatal(err)

@@ -44,6 +44,7 @@ func BenchmarkBoundTermination(b *testing.B) {
 				opts.BatchSize = 16
 				opts.MaxRounds = 1 << 22
 				var samples, runs int64
+				b.ReportAllocs()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					res, err := IFocus(u, xrand.New(uint64(i)+1), opts)

@@ -75,9 +75,12 @@ type Options struct {
 	// scalar algorithms; larger blocks amortize per-draw dispatch, RNG
 	// accounting, and the running-mean update over dense block draws, at
 	// the cost of up to BatchSize−1 samples per group past the point where
-	// its interval separated. The ε schedule is indexed by the cumulative
-	// per-group draw count, which the anytime union bound covers at every
-	// count simultaneously, so batching never weakens the guarantee.
+	// its interval separated. BatchAuto selects the deterministic
+	// auto-batch schedule (start at 64, double per round, cap at 4096).
+	// The ε schedule is indexed by the cumulative per-group draw count,
+	// which the anytime union bound covers at every count simultaneously,
+	// so batching never weakens the guarantee. Other negative values are
+	// invalid.
 	BatchSize int
 	// RoundGrowth, when above 1, grows the per-round block geometrically:
 	// a group holding c cumulative samples draws
@@ -90,9 +93,15 @@ type Options struct {
 	// goroutines. Results are bit-for-bit identical for every value —
 	// each group's randomness is its own seed-derived stream, and all
 	// cross-group decisions run after the draw barrier in deterministic
-	// group order — so Workers is purely a throughput knob, best combined
-	// with BatchSize ≥ 64 so each parallel task is a dense block. 0 and 1
-	// draw inline on the calling goroutine. Negative values are invalid.
+	// group order — so Workers is purely a throughput knob, safe to leave
+	// on everywhere. 0 sizes the pool to runtime.GOMAXPROCS; any value is
+	// clamped to GOMAXPROCS and the group count, and the fan-out is
+	// adaptive on top: rounds too small to amortize the pool dispatch run
+	// inline, and a periodic timing probe falls back to the sequential
+	// loop whenever parallelism does not pay on the current hardware
+	// (timing only ever picks *how* the same draws execute, never what
+	// they are, so results stay deterministic). 1 always draws inline.
+	// Negative values are invalid.
 	Workers int
 	// Draws, when non-nil, feeds the run from a shared offset-addressed
 	// draw source (dataset.Broker) instead of private per-group streams:
@@ -119,6 +128,34 @@ type Options struct {
 	// with Ctx.Err() as soon as the context is canceled or its deadline
 	// passes. A canceled run returns no result.
 	Ctx context.Context
+}
+
+// BatchAuto, assigned to Options.BatchSize, selects the deterministic
+// auto-batch schedule: round m draws min(64·2^(m−1), 4096) fresh samples
+// per active group. The schedule is a fixed function of the round number —
+// never of measured timings — because the block size changes *which*
+// samples each group holds when settle decisions run, so a timing-driven
+// batch would break run-to-run determinism and the worker/batch golden
+// pins. Exhaustion clamping still applies per group, and RoundGrowth
+// composes as usual (the larger of the two block sizes wins).
+const BatchAuto = -1
+
+// The BatchAuto schedule's endpoints: the starting block (the measured
+// knee of the throughput curve — below it per-round bookkeeping dominates)
+// and the cap (past it blocks stop helping and only add overshoot past the
+// settle point).
+const (
+	autoBatchStart = 64
+	autoBatchMax   = 4096
+)
+
+// autoBatchSize returns the BatchAuto block for round m (1-based).
+func autoBatchSize(m int) int {
+	b := autoBatchStart
+	for i := 1; i < m && b < autoBatchMax; i++ {
+		b <<= 1
+	}
+	return b
 }
 
 // interrupted reports the context error, if the run's context is done.
@@ -174,8 +211,8 @@ func (o *Options) validate(u *dataset.Universe) error {
 	if o.Resolution < 0 {
 		return fmt.Errorf("core: resolution must be non-negative, got %v", o.Resolution)
 	}
-	if o.BatchSize < 0 {
-		return fmt.Errorf("core: batch size must be non-negative, got %d", o.BatchSize)
+	if o.BatchSize < 0 && o.BatchSize != BatchAuto {
+		return fmt.Errorf("core: batch size must be non-negative (or BatchAuto), got %d", o.BatchSize)
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("core: workers must be non-negative, got %d", o.Workers)
@@ -282,21 +319,32 @@ func (iv interval) overlaps(other interval) bool {
 // order is caller-owned scratch for the sorted index permutation, reused
 // across rounds and returned (possibly regrown): the sweep runs every
 // round, and a per-call slice plus sort.Slice's closure were the round
-// loop's only steady-state allocations — measurable as the batch-size
-// throughput cliff, since their cost is per round, not per sample. The
-// sort is a stable insertion sort: alloc-free, and n is the number of
-// still-active groups — a chart's bar count — where its constant factor
-// beats the libsort dispatch. Tie order cannot change the result (tied
-// estimates have gap 0 ≤ 2ε, so neither neighbour check passes).
-func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolated []bool, order []int) []int {
+// loop's only steady-state allocations. The sort is a stable insertion
+// sort: alloc-free, and n is the number of still-active groups — a
+// chart's bar count — where its constant factor beats the libsort
+// dispatch. Tie order cannot change the result (tied estimates have gap
+// 0 ≤ 2ε, so neither neighbour check passes).
+//
+// With carry set, the caller asserts order already holds exactly the
+// elements of indices, arranged as the previous round left them; the
+// rebuild from indices is skipped and the insertion sort repairs the
+// carried arrangement in place. Between rounds only the groups that drew
+// move, and each by one block's worth of mean shift, so the carried order
+// is nearly sorted and the adaptive insertion sort runs in O(n + moves)
+// instead of re-deriving the permutation from scratch. Because tie order
+// cannot change the flags, a carried order and a rebuilt one produce
+// bit-identical results.
+func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolated []bool, order []int, carry bool) []int {
 	n := len(indices)
 	if n <= 1 {
 		for _, idx := range indices {
 			isolated[idx] = true
 		}
-		return order
+		return order[:0]
 	}
-	order = append(order[:0], indices...)
+	if !carry {
+		order = append(order[:0], indices...)
+	}
 	for i := 1; i < n; i++ {
 		x := order[i]
 		kx := estimates[x]
@@ -333,18 +381,26 @@ func isolatedEqualWidth(indices []int, estimates []float64, eps float64, isolate
 // group count; tie order among equal lower endpoints cannot change the
 // result (the running-max and next-lo comparisons are ≥/≤ against values,
 // not positions, so any permutation of ties sees the same outcomes).
-func isolatedGeneral(ivs []interval, isolated []bool, order []int) []int {
+//
+// With carry set, order must already be a permutation of 0..n-1 (the
+// previous round's result over the same interval set); the identity
+// rebuild is skipped and the insertion sort repairs the carried, nearly
+// sorted arrangement incrementally. Tie-safety makes the carried and
+// rebuilt paths bit-identical.
+func isolatedGeneral(ivs []interval, isolated []bool, order []int, carry bool) []int {
 	n := len(ivs)
 	switch n {
 	case 0:
-		return order
+		return order[:0]
 	case 1:
 		isolated[0] = true
-		return order
+		return order[:0]
 	}
-	order = order[:0]
-	for i := 0; i < n; i++ {
-		order = append(order, i)
+	if !carry {
+		order = order[:0]
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
 	}
 	for i := 1; i < n; i++ {
 		x := order[i]

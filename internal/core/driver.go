@@ -2,6 +2,8 @@ package core
 
 import (
 	"math"
+	"runtime"
+	"time"
 
 	"repro/internal/conc"
 	"repro/internal/dataset"
@@ -116,15 +118,59 @@ type roundLoop struct {
 	eps    float64
 	capped bool
 
-	workers int         // draw-phase fan-out (≤ 1 draws inline)
+	workers int         // resolved draw-phase fan-out cap (≤ 1 draws inline)
 	drawIdx []int       // groups drawing this round, in index order
 	drawN   []int       // matching per-group block sizes
 	bufs    [][]float64 // per-worker block draw buffers
 
+	// Adaptive fan-out state. Rounds dense enough to clear the volume gate
+	// run a two-round timing probe (one sequential, one parallel) and then
+	// lock whichever loop was faster per draw, re-probing periodically so
+	// a run that outlives a load shift can switch. Timing only ever picks
+	// how the same planned draws execute — worker invariance makes the
+	// results identical either way — so the probe is result-safe.
+	parMode      int8
+	seqNsPerDraw float64
+	parNsPerDraw float64
+	parRounds    int // gated rounds since the last probe concluded
+
 	ivsBuf   []interval // scratch for the unequal-width sweep
-	orderBuf []int      // scratch for the isolation sweeps' sort permutation
+	orderBuf []int      // the isolation sweeps' sort permutation, carried across rounds
+	orderFor int8       // which sweep family orderBuf belongs to
 	traceEps []float64  // scratch per-group widths handed to GroupTracer
 }
+
+// parMode values: the fan-out decision state machine.
+const (
+	parProbeSeq int8 = iota // next gated round runs sequentially, timed
+	parProbePar             // next gated round runs parallel, timed
+	parLockSeq              // probe concluded: sequential loop wins
+	parLockPar              // probe concluded: parallel fan-out wins
+)
+
+// orderFor values: which call family the carried orderBuf permutation
+// belongs to. Sweeps only carry the order across rounds of the same
+// family; a kind switch (impossible within one run today, since the bound
+// is fixed at construction) rebuilds from scratch.
+const (
+	orderNone int8 = iota
+	orderEqual
+	orderGeneral
+)
+
+// Adaptive fan-out tuning. minParallelRoundDraws is the planned draw
+// volume below which a round always runs inline: dispatching the pool
+// costs on the order of microseconds, so scalar and near-scalar rounds
+// (one block per group, tiny blocks) never pay for it. reprobeRounds is
+// how many gated rounds a locked decision holds before the probe runs
+// again. parWinFactor is how much faster per draw the parallel probe
+// must be to win — a strict improvement, so ties keep the cheaper
+// sequential loop.
+const (
+	minParallelRoundDraws = 1024
+	reprobeRounds         = 64
+	parWinFactor          = 0.9
+)
 
 // newRoundLoop builds the loop state. opts must already be validated. The
 // run's RNG discipline is fixed here: one word is taken from rng and every
@@ -133,7 +179,20 @@ type roundLoop struct {
 // how many draws it has taken, never on draw interleaving across groups.
 func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo roundAlgo) *roundLoop {
 	k := u.K()
+	// Resolve the fan-out cap: Workers=0 sizes it to the machine, and any
+	// request is clamped to GOMAXPROCS (goroutines beyond the schedulable
+	// parallelism only add handoff cost — the measured 25% workers=8 tax
+	// on a single core) and to the group count. Whether a given round
+	// actually fans out is decided per round by the volume gate and the
+	// timing probe in drawRound.
+	maxPar := runtime.GOMAXPROCS(0)
 	workers := opts.Workers
+	if workers == 0 {
+		workers = maxPar
+	}
+	if workers > maxPar {
+		workers = maxPar
+	}
 	if workers > k {
 		workers = k
 	}
@@ -148,6 +207,12 @@ func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo round
 		sampler = dataset.NewSourceSampler(u, opts.Draws, !opts.WithReplacement)
 	} else {
 		sampler = dataset.NewStreamSampler(u, rng.Uint64(), !opts.WithReplacement)
+	}
+	if algo.drawOne == nil {
+		// Sampler-native block draws can take the devirtualized kernel
+		// path: the concrete group type is resolved once here, not per
+		// draw. Algorithms with a draw hook never block-draw natively.
+		sampler.EnableBlockKernels()
 	}
 	bound := newRunBound(u, opts)
 	var epsG []float64
@@ -185,10 +250,14 @@ func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo round
 }
 
 // blockSize returns how many fresh samples each active group draws this
-// round: the fixed batch, grown geometrically from the cumulative count
-// when RoundGrowth asks for it. Always at least 1.
+// round: the fixed batch (or the BatchAuto schedule's block for this
+// round), grown geometrically from the cumulative count when RoundGrowth
+// asks for it. Always at least 1.
 func (lp *roundLoop) blockSize() int {
 	b := lp.opts.BatchSize
+	if b == BatchAuto {
+		b = autoBatchSize(lp.m)
+	}
 	if b < 1 {
 		b = 1
 	}
@@ -332,15 +401,63 @@ func (lp *roundLoop) drawRound(fresh int) {
 		lp.drawIdx = append(lp.drawIdx, i)
 		lp.drawN = append(lp.drawN, n)
 	}
-	if lp.workers <= 1 || len(lp.drawIdx) <= 1 {
-		for j, i := range lp.drawIdx {
-			lp.drawGroup(0, i, lp.drawN[j])
-		}
+	planned := 0
+	for _, n := range lp.drawN {
+		planned += n
+	}
+	if lp.workers <= 1 || len(lp.drawIdx) <= 1 || planned < minParallelRoundDraws {
+		// Below the volume gate the pool dispatch costs more than the
+		// draws it would spread; scalar and near-scalar rounds always run
+		// inline, deterministically, with no timing involved.
+		lp.drawSequential()
 		return
 	}
+	switch lp.parMode {
+	case parProbeSeq:
+		start := time.Now()
+		lp.drawSequential()
+		lp.seqNsPerDraw = float64(time.Since(start)) / float64(planned)
+		lp.parMode = parProbePar
+	case parProbePar:
+		start := time.Now()
+		lp.drawParallel()
+		lp.parNsPerDraw = float64(time.Since(start)) / float64(planned)
+		if lp.parNsPerDraw < lp.seqNsPerDraw*parWinFactor {
+			lp.parMode = parLockPar
+		} else {
+			lp.parMode = parLockSeq
+		}
+		lp.parRounds = 0
+	case parLockSeq:
+		lp.drawSequential()
+		lp.bumpReprobe()
+	case parLockPar:
+		lp.drawParallel()
+		lp.bumpReprobe()
+	}
+}
+
+// drawSequential runs the planned draws inline on the calling goroutine.
+func (lp *roundLoop) drawSequential() {
+	for j, i := range lp.drawIdx {
+		lp.drawGroup(0, i, lp.drawN[j])
+	}
+}
+
+// drawParallel fans the planned draws across the worker pool.
+func (lp *roundLoop) drawParallel() {
 	ParallelForWorkers(len(lp.drawIdx), lp.workers, func(w, j int) {
 		lp.drawGroup(w, lp.drawIdx[j], lp.drawN[j])
 	})
+}
+
+// bumpReprobe re-arms the timing probe after enough gated rounds have run
+// on the locked decision.
+func (lp *roundLoop) bumpReprobe() {
+	lp.parRounds++
+	if lp.parRounds >= reprobeRounds {
+		lp.parMode = parProbeSeq
+	}
 }
 
 // drawGroup folds n fresh samples into group i's running mean, using
@@ -362,13 +479,24 @@ func (lp *roundLoop) drawGroup(w, i, n int) {
 		return
 	}
 	sum := 0.0
-	if lp.algo.drawOne != nil {
+	switch {
+	case lp.algo.drawOne != nil:
 		for j := 0; j < n; j++ {
 			x := lp.algo.drawOne(i)
 			lp.sampler.Observe(i, x)
 			sum += x
 		}
-	} else {
+	default:
+		// Devirtualized fast path: for slice/table/filtered-backed groups
+		// the sampler folds the block's sum (and moments) inside the
+		// group's own draw loop — one bounds-checked slice walk, no buffer
+		// fill, no per-draw interface dispatch. Groups without a kernel
+		// (virtual distributions, source-fed samplers) buffer through the
+		// generic block path; both produce the identical value stream.
+		if s, ok := lp.sampler.DrawBlockSum(i, n); ok {
+			sum = s
+			break
+		}
 		if cap(lp.bufs[w]) < n {
 			lp.bufs[w] = make([]float64, n)
 		}
@@ -427,7 +555,7 @@ func (lp *roundLoop) width(i int) float64 {
 func (lp *roundLoop) settleIsolated() {
 	lp.actIdx = activeIndices(lp.active, lp.actIdx)
 	if lp.bound == nil {
-		lp.orderBuf = isolatedEqualWidth(lp.actIdx, lp.estimates, lp.eps, lp.isolated, lp.orderBuf)
+		lp.sweepEqualWidth(lp.actIdx)
 	} else {
 		lp.isolatedUnequal()
 	}
@@ -436,6 +564,39 @@ func (lp *roundLoop) settleIsolated() {
 			lp.settle(i, lp.groupEps(i), lp.algo.notifyPartials)
 		}
 	}
+}
+
+// sweepEqualWidth runs the equal-width isolation sweep over indices,
+// carrying the sorted order across rounds: settled groups are dropped
+// from the carried permutation (settles only ever remove — the active set
+// never grows — so the filtered order holds exactly the live indices),
+// and the sweep's adaptive insertion sort then repairs the few positions
+// that moved instead of re-deriving the permutation every round.
+func (lp *roundLoop) sweepEqualWidth(indices []int) {
+	carry := false
+	if lp.orderFor == orderEqual {
+		w := 0
+		for _, idx := range lp.orderBuf {
+			if lp.active[idx] {
+				lp.orderBuf[w] = idx
+				w++
+			}
+		}
+		lp.orderBuf = lp.orderBuf[:w]
+		carry = w == len(indices)
+	}
+	lp.orderBuf = isolatedEqualWidth(indices, lp.estimates, lp.eps, lp.isolated, lp.orderBuf, carry)
+	lp.orderFor = orderEqual
+}
+
+// sweepGeneral runs the general interval sweep over ivs (one interval per
+// group, settled ones frozen), carrying the sort-by-lo order across
+// rounds. Membership is all k groups every round, so the carried
+// permutation stays valid for the whole run once built.
+func (lp *roundLoop) sweepGeneral(ivs []interval) {
+	carry := lp.orderFor == orderGeneral && len(lp.orderBuf) == len(ivs)
+	lp.orderBuf = isolatedGeneral(ivs, lp.isolated, lp.orderBuf, carry)
+	lp.orderFor = orderGeneral
 }
 
 // isolatedUnequal marks in lp.isolated which groups' intervals
@@ -450,7 +611,7 @@ func (lp *roundLoop) isolatedUnequal() {
 		ivs = append(ivs, interval{lp.estimates[i] - w, lp.estimates[i] + w})
 	}
 	lp.ivsBuf = ivs
-	lp.orderBuf = isolatedGeneral(ivs, lp.isolated, lp.orderBuf)
+	lp.sweepGeneral(ivs)
 }
 
 // resolutionExit applies the Problem 2 relaxation. Under the shared

@@ -41,13 +41,27 @@ var benchUniverse = sync.OnceValue(func() *dataset.Universe {
 // batch=64 over batch=1.
 func BenchmarkIFocus(b *testing.B) {
 	const perGroup = 20_000 // samples per group per run
-	for _, batch := range []int{1, 64, 256} {
-		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+	for _, batch := range []int{1, 64, 256, BatchAuto} {
+		name := fmt.Sprintf("batch=%d", batch)
+		if batch == BatchAuto {
+			name = "batch=auto"
+		}
+		b.Run(name, func(b *testing.B) {
 			u := benchUniverse()
 			opts := DefaultOptions()
 			opts.BatchSize = batch
-			opts.MaxRounds = (perGroup + batch - 1) / batch
+			if batch == BatchAuto {
+				// The doubling schedule reaches the per-group depth in
+				// however many rounds its cumulative sum needs.
+				for cum := 0; cum < perGroup; {
+					opts.MaxRounds++
+					cum += autoBatchSize(opts.MaxRounds)
+				}
+			} else {
+				opts.MaxRounds = (perGroup + batch - 1) / batch
+			}
 			var total int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := IFocus(u, xrand.New(uint64(i)+1), opts)
@@ -82,7 +96,7 @@ func BenchmarkIFocusParallel(b *testing.B) {
 	cases := []struct {
 		name    string
 		workers int
-	}{{"workers=1", 1}, {"workers=8", 8}}
+	}{{"workers=1", 1}, {"workers=8", 8}, {"workers=auto", 0}}
 	if n := runtime.NumCPU(); n != 1 && n != 8 {
 		cases = append(cases, struct {
 			name    string
@@ -98,6 +112,7 @@ func BenchmarkIFocusParallel(b *testing.B) {
 			opts.Workers = workers
 			opts.MaxRounds = (perGroup + batch - 1) / batch
 			var total int64
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				res, err := IFocus(u, xrand.New(uint64(i)+1), opts)
@@ -134,6 +149,7 @@ func BenchmarkIngestCSV(b *testing.B) {
 	for _, workers := range counts {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			var rows int
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				tb, err := dataset.ReadCSVWorkers(bytes.NewReader(payload), workers)
@@ -159,6 +175,7 @@ func BenchmarkIFocusGrowth(b *testing.B) {
 	// small round cap reaches the same ~20k/group depth.
 	opts.MaxRounds = 62
 	var total int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		res, err := IFocus(u, xrand.New(uint64(i)+1), opts)

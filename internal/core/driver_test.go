@@ -177,19 +177,82 @@ func TestRoundGrowthReducesRounds(t *testing.T) {
 func TestBatchOptionValidation(t *testing.T) {
 	u := pinUniverse()
 	opts := DefaultOptions()
-	opts.BatchSize = -1
+	opts.BatchSize = -2
 	if _, err := IFocus(u, xrand.New(1), opts); err == nil {
 		t.Fatal("negative BatchSize accepted")
+	}
+	opts = DefaultOptions()
+	opts.BatchSize = BatchAuto
+	if _, err := IFocus(u, xrand.New(1), opts); err != nil {
+		t.Fatalf("BatchAuto rejected: %v", err)
 	}
 	opts = DefaultOptions()
 	opts.RoundGrowth = 0.5
 	if _, err := IFocus(u, xrand.New(1), opts); err == nil {
 		t.Fatal("RoundGrowth in (0,1) accepted")
 	}
-	opts = DefaultOptions()
-	opts.BatchSize = -1
-	if _, err := NoIndex(NewUniverseTupleSource(u), xrand.New(1), opts, 0); err == nil {
-		t.Fatal("NoIndex accepted negative BatchSize")
+	// NoIndex's batch scales its interval-check cadence — it changes
+	// results, so the auto schedule does not apply there and every
+	// negative value (BatchAuto included) stays invalid.
+	for _, bad := range []int{-1, -2} {
+		opts = DefaultOptions()
+		opts.BatchSize = bad
+		if _, err := NoIndex(NewUniverseTupleSource(u), xrand.New(1), opts, 0); err == nil {
+			t.Fatalf("NoIndex accepted BatchSize=%d", bad)
+		}
+	}
+}
+
+// TestAutoBatchSchedule pins the BatchAuto block schedule itself: blocks
+// start at autoBatchStart, double each round, and clamp at autoBatchMax.
+// A round-capped run over never-settling equal-mean groups must draw
+// exactly k·Σ_m min(64·2^(m−1), 4096) samples — the schedule is a fixed
+// function of the round number, never of timing.
+func TestAutoBatchSchedule(t *testing.T) {
+	want := []int{64, 128, 256, 512, 1024, 2048, 4096, 4096, 4096}
+	for m, w := range want {
+		if got := autoBatchSize(m + 1); got != w {
+			t.Fatalf("autoBatchSize(%d) = %d, want %d", m+1, got, w)
+		}
+	}
+	const k, rounds = 3, 9
+	groups := make([]dataset.Group, k)
+	for i := range groups {
+		groups[i] = dataset.NewDistGroup(groupNames(i),
+			xrand.TruncNormal{Mu: 50, Sigma: 8, Lo: 0, Hi: 100}, 1_000_000_000)
+	}
+	u := dataset.NewUniverse(100, groups...)
+	opts := DefaultOptions()
+	opts.BatchSize = BatchAuto
+	opts.MaxRounds = rounds
+	res, err := IFocus(u, xrand.New(17), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Capped || res.Rounds != rounds {
+		t.Fatalf("equal-mean run should hit the %d-round cap, got capped=%v rounds=%d",
+			rounds, res.Capped, res.Rounds)
+	}
+	var total int64
+	for _, w := range want {
+		total += int64(k * w)
+	}
+	if res.TotalSamples != total {
+		t.Fatalf("auto-batch draw total %d, want the exact schedule sum %d", res.TotalSamples, total)
+	}
+}
+
+// TestAutoBatchGoldenPin freezes one full BatchAuto run bit-for-bit, so
+// any change to the schedule or to the kernels/fan-out underneath it that
+// moves results is caught immediately.
+func TestAutoBatchGoldenPin(t *testing.T) {
+	opts := DefaultOptions()
+	opts.BatchSize = BatchAuto
+	res, err := IFocus(pinUniverse(), xrand.New(77), opts)
+	got := fingerprint(res, err)
+	const want = "rounds=5 total=7808 capped=false eps=2.9276839962557677 est=[15.088661979672436 27.427973130465798 39.231194976654848 50.848775234152676 63.095549355683744 75.399729472743488] counts=[960 960 1984 1984 960 960] settled=[4 4 5 5 4 4]"
+	if got != want {
+		t.Fatalf("BatchAuto golden diverged:\n got: %s\nwant: %s", got, want)
 	}
 }
 

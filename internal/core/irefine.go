@@ -84,7 +84,7 @@ func IRefine(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, error)
 		for i := 0; i < k; i++ {
 			ivs[i] = interval{estimates[i] - epsilons[i], estimates[i] + epsilons[i]}
 		}
-		orderBuf = isolatedGeneral(ivs, isolated, orderBuf)
+		orderBuf = isolatedGeneral(ivs, isolated, orderBuf, len(orderBuf) == len(ivs))
 		for i := 0; i < k; i++ {
 			if !active[i] {
 				continue

@@ -151,7 +151,7 @@ func MultiAgg(u *dataset.Universe, rng *xrand.RNG, opts Options) (*MultiResult, 
 			}
 			ivs[i] = interval{estZ[i] - w, estZ[i] + w}
 		}
-		orderBuf = isolatedGeneral(ivs, isolated, orderBuf)
+		orderBuf = isolatedGeneral(ivs, isolated, orderBuf, len(orderBuf) == len(ivs))
 		progress := false
 		for i := 0; i < k; i++ {
 			if !activeZ[i] {

@@ -199,7 +199,7 @@ func NoIndex(src TupleSource, rng *xrand.RNG, opts Options, maxDraws int64) (*No
 						opts.Tracer.OnRound(round, maxEps, traceActive, estimates, total)
 					}
 				}
-				orderBuf = isolatedGeneral(ivs, isolated, orderBuf)
+				orderBuf = isolatedGeneral(ivs, isolated, orderBuf, len(orderBuf) == len(ivs))
 				done := true
 				for i := 0; i < k; i++ {
 					if !isolated[i] {

@@ -35,19 +35,26 @@ func invarianceFingerprint(t *testing.T, ar algoRunner, build func() *dataset.Un
 	return fingerprint(res, nil) + " partials=" + pr.String()
 }
 
-// TestWorkerInvariance: Workers ∈ {1, 4, 16} × BatchSize ∈ {1, 64} agree
-// exactly for every round-driver algorithm.
+// TestWorkerInvariance: Workers ∈ {0 (auto), 1, 4, 16} × BatchSize ∈
+// {1, 64, auto} agree exactly for every round-driver algorithm. Workers=0
+// resolves to GOMAXPROCS and must stay on the same bit-for-bit results as
+// every explicit count; BatchAuto is a deterministic schedule, so it is
+// subject to the same invariant.
 func TestWorkerInvariance(t *testing.T) {
+	batches := []struct {
+		label string
+		size  int
+	}{{"1", 1}, {"64", 64}, {"auto", BatchAuto}}
 	for _, ar := range batchRunners() {
-		for _, batch := range []int{1, 64} {
-			t.Run(fmt.Sprintf("%s/batch=%d", ar.name, batch), func(t *testing.T) {
+		for _, batch := range batches {
+			t.Run(fmt.Sprintf("%s/batch=%s", ar.name, batch.label), func(t *testing.T) {
 				build := pinUniverse
 				if ar.name == "sum-known" || ar.name == "sum-unknown" {
 					build = pinSumUniverse
 				}
-				want := invarianceFingerprint(t, ar, build, batch, 1)
-				for _, workers := range []int{4, 16} {
-					if got := invarianceFingerprint(t, ar, build, batch, workers); got != want {
+				want := invarianceFingerprint(t, ar, build, batch.size, 1)
+				for _, workers := range []int{0, 4, 16} {
+					if got := invarianceFingerprint(t, ar, build, batch.size, workers); got != want {
 						t.Fatalf("workers=%d diverged from workers=1:\n got: %s\nwant: %s", workers, got, want)
 					}
 				}
@@ -70,9 +77,9 @@ func TestWorkerInvarianceMultiAgg(t *testing.T) {
 		}
 		return fmt.Sprintf("%v|%v|%v|%d|%d|%d", res.EstimatesY, res.EstimatesZ, res.SampleCounts, res.TotalSamples, res.RoundsY, res.RoundsZ)
 	}
-	for _, batch := range []int{1, 64} {
+	for _, batch := range []int{1, 64, BatchAuto} {
 		want := run(batch, 1)
-		for _, workers := range []int{4, 16} {
+		for _, workers := range []int{0, 4, 16} {
 			if got := run(batch, workers); got != want {
 				t.Fatalf("batch=%d workers=%d diverged:\n got: %s\nwant: %s", batch, workers, got, want)
 			}

@@ -39,7 +39,7 @@ func RoundRobin(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, err
 			// over all k: the neighbour shortcut under the shared ε, the
 			// general sweep when per-group radii differ.
 			if lp.bound == nil {
-				lp.orderBuf = isolatedEqualWidth(all, lp.estimates, lp.eps, lp.isolated, lp.orderBuf)
+				lp.sweepEqualWidth(all)
 			} else {
 				lp.isolatedUnequal()
 			}

@@ -57,7 +57,7 @@ func SumKnownSizes(u *dataset.Universe, rng *xrand.RNG, opts Options) (*Result, 
 				}
 				ivs[i] = interval{sums[i] - w, sums[i] + w}
 			}
-			lp.orderBuf = isolatedGeneral(ivs, lp.isolated, lp.orderBuf)
+			lp.sweepGeneral(ivs)
 			toSettle = toSettle[:0]
 			for i := 0; i < k; i++ {
 				if lp.active[i] && lp.isolated[i] {

@@ -214,13 +214,13 @@ func TestIsolatedEqualWidthMatchesGeneral(t *testing.T) {
 			idx[i] = i
 		}
 		fast := make([]bool, len(est))
-		isolatedEqualWidth(idx, est, eps, fast, nil)
+		isolatedEqualWidth(idx, est, eps, fast, nil, false)
 		ivs := make([]interval, len(est))
 		for i, e := range est {
 			ivs[i] = interval{e - eps, e + eps}
 		}
 		slow := make([]bool, len(est))
-		isolatedGeneral(ivs, slow, nil)
+		isolatedGeneral(ivs, slow, nil, false)
 		brute := make([]bool, len(est))
 		bruteForceIsolated(ivs, brute)
 		for i := range fast {
@@ -252,7 +252,7 @@ func TestIsolatedGeneralMatchesBruteForce(t *testing.T) {
 			ivs[i] = interval{lo, lo + float64(rawW[i]%20)}
 		}
 		fast := make([]bool, n)
-		isolatedGeneral(ivs, fast, nil)
+		isolatedGeneral(ivs, fast, nil, false)
 		brute := make([]bool, n)
 		bruteForceIsolated(ivs, brute)
 		for i := range fast {

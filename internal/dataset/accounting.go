@@ -52,6 +52,13 @@ type Sampler struct {
 	// values via Observe instead, so the moments describe the variable
 	// actually being estimated.
 	autoObserve bool
+
+	// kernels, when enabled, holds the per-group devirtualized block-draw
+	// kernels: the concrete group type behind each index, resolved once by
+	// EnableBlockKernels so DrawBlockSum can walk the backing slice
+	// directly instead of dispatching through the Group interfaces per
+	// block (see kernel.go).
+	kernels []blockKernel
 }
 
 // NewSampler returns a sampler over u whose draws all consume the one

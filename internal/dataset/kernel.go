@@ -1,0 +1,232 @@
+// Devirtualized block-draw kernels. The generic sampler path costs one
+// interface dispatch per block plus a buffer fill and a separate summing
+// and moments pass over it. For the two concrete group families that back
+// real tables — SliceGroup (and TableGroup, which embeds it) and
+// FilteredGroup — the round driver's per-block work is really just "walk
+// the permutation / selection, gather values, accumulate sum and moments".
+// The kernels below fuse exactly that into the group's own draw loop, so a
+// block costs one bounds-checked slice walk with no intermediate buffer.
+//
+// Equivalence contract: a kernel must consume the group's RNG stream and
+// draw state exactly as the generic path does — same Intn sequence, same
+// permutation advance, same exhaustion fallback to with-replacement, same
+// value order into the Welford moments (Moments.AddAll is a sequential
+// Add loop, so folding per value in draw order is bit-identical). The
+// worker/batch invariance pins and the kernel-vs-generic test in
+// kernel_test.go hold this contract.
+package dataset
+
+import (
+	"repro/internal/conc"
+	"repro/internal/xrand"
+)
+
+// blockKernel is one group's resolved concrete type: exactly one field is
+// non-nil for kernel-capable groups, both are nil otherwise (virtual
+// distributions, pair groups, custom sources).
+type blockKernel struct {
+	slice    *SliceGroup
+	filtered *FilteredGroup
+}
+
+// EnableBlockKernels resolves each group's concrete type once, switching
+// DrawBlockSum on for the groups it recognizes. It is a no-op on
+// source-fed samplers, whose draws are addressed by offset and never
+// touch the groups' draw paths.
+func (s *Sampler) EnableBlockKernels() {
+	if s.source != nil {
+		return
+	}
+	kernels := make([]blockKernel, s.u.K())
+	any := false
+	for i, g := range s.u.Groups {
+		switch t := g.(type) {
+		case *TableGroup:
+			// TableGroup embeds SliceGroup; the embedded value carries all
+			// draw state, so the slice kernel serves it directly.
+			kernels[i].slice = &t.SliceGroup
+			any = true
+		case *SliceGroup:
+			kernels[i].slice = t
+			any = true
+		case *FilteredGroup:
+			kernels[i].filtered = t
+			any = true
+		}
+	}
+	if any {
+		s.kernels = kernels
+	}
+}
+
+// DrawBlockSum draws n samples from group i through its devirtualized
+// kernel, recording them and folding moments exactly like DrawBatch, and
+// returns their sum. ok is false when group i has no kernel (or kernels
+// are not enabled); the caller must fall back to DrawBatch, which
+// produces the identical value stream through the generic path.
+//
+// Like every draw path, at most one goroutine may call it for a given
+// group at a time; distinct groups may be drawn concurrently.
+func (s *Sampler) DrawBlockSum(i, n int) (sum float64, ok bool) {
+	if s.kernels == nil || n <= 0 {
+		return 0, false
+	}
+	k := &s.kernels[i]
+	if k.slice == nil && k.filtered == nil {
+		return 0, false
+	}
+	var mom *conc.Moments
+	if s.moments != nil && s.autoObserve {
+		mom = &s.moments[i]
+	}
+	s.Record(i, n)
+	r := s.RNGFor(i)
+	if s.without {
+		var taken int
+		if k.slice != nil {
+			sum, taken = k.slice.drawBlockSumWOR(r, n, mom)
+		} else {
+			sum, taken = k.filtered.drawBlockSumWOR(r, n, mom)
+		}
+		if taken == n {
+			return sum, true
+		}
+		// Population ran out mid-block: record it and top the block up
+		// with replacement, exactly as the generic path does. The running
+		// sum is threaded through rather than summed separately — float
+		// addition is not associative, and callers folding the generic
+		// buffer use one sequential accumulator across the whole block.
+		s.exhausted[i].Store(true)
+		n -= taken
+	}
+	if k.slice != nil {
+		sum = k.slice.drawBlockSumWR(r, n, sum, mom)
+	} else {
+		sum = k.filtered.drawBlockSumWR(r, n, sum, mom)
+	}
+	return sum, true
+}
+
+// drawBlockSumWOR is DrawBatchWithoutReplacement fused with the sum and
+// moments fold: identical Fisher–Yates steps over the permutation suffix,
+// no destination buffer.
+func (g *SliceGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) (float64, int) {
+	total := len(g.values)
+	if g.next >= total {
+		return 0, 0
+	}
+	g.ensurePerm()
+	perm, vals := g.perm, g.values
+	sum := 0.0
+	taken := 0
+	for taken < n && g.next < total {
+		j := g.next + r.Intn(total-g.next)
+		perm[g.next], perm[j] = perm[j], perm[g.next]
+		v := vals[perm[g.next]]
+		g.next++
+		taken++
+		sum += v
+		if mom != nil {
+			mom.Add(v)
+		}
+	}
+	return sum, taken
+}
+
+// drawBlockSumWR is DrawBatch fused with the sum and moments fold,
+// continuing the caller's running accumulator.
+func (g *SliceGroup) drawBlockSumWR(r *xrand.RNG, n int, sum float64, mom *conc.Moments) float64 {
+	vals := g.values
+	sz := len(vals)
+	for k := 0; k < n; k++ {
+		v := vals[r.Intn(sz)]
+		sum += v
+		if mom != nil {
+			mom.Add(v)
+		}
+	}
+	return sum
+}
+
+// drawBlockSumWOR mirrors FilteredGroup.DrawBatchWithoutReplacement: the
+// same staged Fisher–Yates over selection ranks (bitmap selections batch
+// the rank→row mapping through SelectBatch into the rows scratch; index
+// selections gather directly), fused with the sum and moments fold.
+func (g *FilteredGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) (float64, int) {
+	total := g.sel.count
+	if g.next >= total {
+		return 0, 0
+	}
+	g.ensurePerm()
+	if g.sel.bits != nil {
+		rows := g.rowScratch(n)
+		taken := 0
+		for taken < n && g.next < total {
+			j := g.next + r.Intn(total-g.next)
+			g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
+			rows[taken] = g.perm[g.next]
+			g.next++
+			taken++
+		}
+		rows = rows[:taken]
+		if err := g.sel.bits.SelectBatch(rows); err != nil {
+			panic(err) // permutation ranks < count by construction
+		}
+		sum := 0.0
+		for _, row := range rows {
+			v := g.col[row]
+			sum += v
+			if mom != nil {
+				mom.Add(v)
+			}
+		}
+		return sum, taken
+	}
+	perm, col, idx := g.perm, g.col, g.sel.idx
+	sum := 0.0
+	taken := 0
+	for taken < n && g.next < total {
+		j := g.next + r.Intn(total-g.next)
+		perm[g.next], perm[j] = perm[j], perm[g.next]
+		v := col[idx[perm[g.next]]]
+		g.next++
+		taken++
+		sum += v
+		if mom != nil {
+			mom.Add(v)
+		}
+	}
+	return sum, taken
+}
+
+// drawBlockSumWR mirrors FilteredGroup.DrawBatch, fused with the sum and
+// moments fold, continuing the caller's running accumulator.
+func (g *FilteredGroup) drawBlockSumWR(r *xrand.RNG, n int, sum float64, mom *conc.Moments) float64 {
+	cnt := g.sel.count
+	if g.sel.bits == nil {
+		col, idx := g.col, g.sel.idx
+		for k := 0; k < n; k++ {
+			v := col[idx[r.Intn(cnt)]]
+			sum += v
+			if mom != nil {
+				mom.Add(v)
+			}
+		}
+		return sum
+	}
+	rows := g.rowScratch(n)
+	for i := range rows {
+		rows[i] = int32(r.Intn(cnt))
+	}
+	if err := g.sel.bits.SelectBatch(rows); err != nil {
+		panic(err) // ranks < count by construction
+	}
+	for _, row := range rows {
+		v := g.col[row]
+		sum += v
+		if mom != nil {
+			mom.Add(v)
+		}
+	}
+	return sum
+}

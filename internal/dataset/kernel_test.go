@@ -1,0 +1,168 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// kernelTestTable builds a table whose groups are large enough to draw
+// several blocks yet small enough to exhaust deliberately.
+func kernelTestTable(t *testing.T) *Table {
+	t.Helper()
+	b := NewTableBuilderColumns("delay", "dist")
+	r := xrand.New(0xbeef)
+	for _, name := range []string{"a", "b", "c"} {
+		for i := 0; i < 300; i++ {
+			if err := b.AddRow(name, math.Floor(r.Float64()*100), float64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tab, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+// drawPlan is the block sequence each equivalence case replays: uneven
+// sizes, a repeat, and a final oversized block that exhausts every group
+// (populations are ≤ 300) and forces the with-replacement fallback.
+var drawPlan = []int{5, 64, 7, 64, 512}
+
+// kernelCase builds a pair of identical universes for one group family.
+type kernelCase struct {
+	name  string
+	build func(t *testing.T) *Universe
+}
+
+func kernelCases(t *testing.T) []kernelCase {
+	t.Helper()
+	return []kernelCase{
+		{"slice", func(t *testing.T) *Universe {
+			r := xrand.New(0x51ce)
+			mk := func(name string) *SliceGroup {
+				vals := make([]float64, 250)
+				for i := range vals {
+					vals[i] = r.Float64() * 100
+				}
+				return NewSliceGroup(name, vals)
+			}
+			return NewUniverse(100, mk("a"), mk("b"), mk("c"))
+		}},
+		{"table", func(t *testing.T) *Universe {
+			u, err := kernelTestTable(t).Universe(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return u
+		}},
+		{"filtered-bitmap", func(t *testing.T) *Universe {
+			// A dense predicate keeps the bitmap selection representation.
+			v, err := kernelTestTable(t).Filter(Predicate{Op: OpLT, Value: 80})
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, err := v.Universe(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return u
+		}},
+		{"filtered-index", func(t *testing.T) *Universe {
+			// A highly selective predicate switches to the row-index
+			// representation.
+			v, err := kernelTestTable(t).Filter(Predicate{Column: "dist", Op: OpLT, Value: 40})
+			if err != nil {
+				t.Fatal(err)
+			}
+			u, err := v.Universe(100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return u
+		}},
+	}
+}
+
+// TestKernelMatchesGenericPath holds the kernel equivalence contract: for
+// every kernel-capable group family, DrawBlockSum must replicate the
+// generic DrawBatch path bit for bit — the same values (hence sums), the
+// same RNG stream advance, the same permutation and exhaustion state, and
+// the same Welford moments — with and without replacement, across blocks
+// that span the exhaustion boundary.
+func TestKernelMatchesGenericPath(t *testing.T) {
+	for _, tc := range kernelCases(t) {
+		for _, without := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%s/without=%v", tc.name, without), func(t *testing.T) {
+				fast := NewStreamSampler(tc.build(t), 0x5eed, without)
+				fast.EnableMoments(true)
+				fast.EnableBlockKernels()
+				slow := NewStreamSampler(tc.build(t), 0x5eed, without)
+				slow.EnableMoments(true)
+
+				buf := make([]float64, 512)
+				for gi := 0; gi < 3; gi++ {
+					for step, n := range drawPlan {
+						sum, ok := fast.DrawBlockSum(gi, n)
+						if !ok {
+							t.Fatalf("group %d: kernel not engaged", gi)
+						}
+						dst := buf[:n]
+						slow.DrawBatch(gi, dst)
+						want := 0.0
+						for _, v := range dst {
+							want += v
+						}
+						if sum != want {
+							t.Fatalf("group %d step %d (n=%d): kernel sum %v, generic %v",
+								gi, step, n, sum, want)
+						}
+						if fast.Exhausted(gi) != slow.Exhausted(gi) {
+							t.Fatalf("group %d step %d: exhaustion flags diverge (%v vs %v)",
+								gi, step, fast.Exhausted(gi), slow.Exhausted(gi))
+						}
+						fm, sm := fast.MomentsFor(gi), slow.MomentsFor(gi)
+						if *fm != *sm {
+							t.Fatalf("group %d step %d: moments diverge: %+v vs %+v", gi, step, *fm, *sm)
+						}
+					}
+					if fast.Counts()[gi] != slow.Counts()[gi] {
+						t.Fatalf("group %d: counts diverge: %d vs %d", gi, fast.Counts()[gi], slow.Counts()[gi])
+					}
+				}
+				if fast.Total() != slow.Total() {
+					t.Fatalf("totals diverge: %d vs %d", fast.Total(), slow.Total())
+				}
+			})
+		}
+	}
+}
+
+// TestKernelFallsBackOnVirtualGroups: distribution-backed groups have no
+// concrete kernel; DrawBlockSum must decline so the driver's generic path
+// serves them, and enabling kernels on such a universe stays a no-op.
+func TestKernelFallsBackOnVirtualGroups(t *testing.T) {
+	u := NewUniverse(100,
+		NewDistGroup("d", xrand.TruncNormal{Mu: 50, Sigma: 8, Lo: 0, Hi: 100}, 1000))
+	s := NewStreamSampler(u, 1, false)
+	s.EnableBlockKernels()
+	if _, ok := s.DrawBlockSum(0, 8); ok {
+		t.Fatal("kernel claimed a distribution-backed group")
+	}
+	// A mixed universe gets kernels only for the concrete groups.
+	mixed := NewUniverse(100,
+		NewSliceGroup("s", []float64{1, 2, 3, 4, 5}),
+		NewDistGroup("d", xrand.TruncNormal{Mu: 50, Sigma: 8, Lo: 0, Hi: 100}, 1000))
+	ms := NewStreamSampler(mixed, 1, false)
+	ms.EnableBlockKernels()
+	if _, ok := ms.DrawBlockSum(0, 3); !ok {
+		t.Fatal("kernel missing for the slice group in a mixed universe")
+	}
+	if _, ok := ms.DrawBlockSum(1, 3); ok {
+		t.Fatal("kernel claimed the virtual group in a mixed universe")
+	}
+}

@@ -41,6 +41,7 @@ func BenchmarkFilteredDraw(b *testing.B) {
 		b.Run(mode, func(b *testing.B) {
 			r := xrand.New(1)
 			buf := make([]float64, 256)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				g.DrawBatch(r, buf)

@@ -1,13 +1,16 @@
 // Package par provides the one bounded work-queue primitive shared by the
 // parallel round driver, the exact-scan fan-out, the engine's per-group
 // preprocessing, and sharded table ingestion. It deliberately stays tiny:
-// a fixed pool of workers draining an index channel, with an inline fast
-// path when parallelism is not requested — so callers can use the same
-// code path for Workers=1 and Workers=N and rely on the results being
+// a fixed pool of workers draining an atomic index counter, with an inline
+// fast path when parallelism is not requested — so callers can use the
+// same code path for Workers=1 and Workers=N and rely on the results being
 // identical.
 package par
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // For runs fn(0..n-1) across at most workers goroutines (clamped to n;
 // workers <= 1 runs inline on the calling goroutine). Each fn call must
@@ -21,6 +24,14 @@ func For(n, workers int, fn func(i int)) {
 // fn(w, i) with w in [0, workers). Indices handled by the same worker are
 // processed sequentially, so w can select per-worker scratch (buffers,
 // accumulators) without synchronization. The inline path uses w = 0.
+//
+// Work is distributed by an atomic fetch-and-add over the index range —
+// one uncontended RMW per item — rather than a channel: the previous
+// unbuffered-channel queue cost a sender/receiver rendezvous (two
+// scheduler handoffs) per item, which dominated small per-item work and
+// made fan-out a net loss for rounds of cheap blocks. The calling
+// goroutine participates as worker 0, so only workers−1 goroutines are
+// spawned and the caller stays busy instead of blocking on a feed loop.
 func ForWorkers(n, workers int, fn func(w, i int)) {
 	if workers > n {
 		workers = n
@@ -31,20 +42,27 @@ func ForWorkers(n, workers int, fn func(w, i int)) {
 		}
 		return
 	}
-	next := make(chan int)
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 1; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
 				fn(w, i)
 			}
 		}(w)
 	}
-	for i := 0; i < n; i++ {
-		next <- i
+	for {
+		i := int(next.Add(1)) - 1
+		if i >= n {
+			break
+		}
+		fn(0, i)
 	}
-	close(next)
 	wg.Wait()
 }

@@ -177,13 +177,18 @@ type Query struct {
 	WithReplacement bool
 
 	// BatchSize is the number of fresh samples drawn from each contentious
-	// group per sampling round. 0 and 1 both select the paper's
-	// one-sample-per-round schedule (bit-for-bit identical results);
-	// larger blocks — 64 and up — amortize per-draw dispatch and
-	// bookkeeping over dense block draws for a several-fold throughput
-	// gain on large groups, at the cost of up to BatchSize−1 extra samples
-	// per group. The confidence schedule is indexed by cumulative draws,
-	// so the ordering guarantee is unaffected.
+	// group per sampling round. Zero (the default) selects the auto-batch
+	// schedule: blocks start at 64 and double each round up to 4096 — a
+	// deterministic, fixed schedule (never tuned from timings, which would
+	// break run-to-run reproducibility), so a default query is both fast
+	// and repeatable. 1 selects the paper's one-sample-per-round schedule;
+	// explicit larger blocks — 64 and up — fix the block size, amortizing
+	// per-draw dispatch and bookkeeping over dense block draws at the cost
+	// of up to BatchSize−1 extra samples per group. The confidence
+	// schedule is indexed by cumulative draws, so the ordering guarantee
+	// is unaffected at any block size. NOINDEX queries are the exception:
+	// their batch scales the interval-check cadence, so 0 keeps the scalar
+	// cadence there. Negative values are invalid.
 	BatchSize int
 	// RoundGrowth, when above 1, grows the per-round block geometrically
 	// (a group holding c samples draws about (RoundGrowth−1)·c fresh ones
@@ -191,19 +196,21 @@ type Query struct {
 	// samples. 0 and 1 keep blocks fixed at BatchSize; values in (0, 1)
 	// are invalid.
 	RoundGrowth float64
-	// Workers overrides the parallelism of this query's sampling rounds
-	// and exact scans. Zero (the default) lets the engine decide: a
-	// dense-block query (BatchSize ≥ 64, or geometric RoundGrowth) fans
-	// out over however many worker slots are idle when it starts — a lone
-	// query uses the whole pool, concurrent traffic shares it — while
-	// scalar-round queries stay inline, where per-round fan-out dispatch
-	// would cost more than the one-sample draws it parallelizes. A
-	// positive value forces exactly that fan-out regardless of the
-	// engine's budget or batch size — 1 pins the query to a single
-	// goroutine. Results are bit-for-bit identical for every value (each
-	// group's randomness is its own seed-derived stream), so Workers is
-	// purely a throughput knob; combine it with BatchSize ≥ 64 so each
-	// parallel task is a dense block. Negative values are invalid.
+	// Workers caps the parallelism of this query's sampling rounds and
+	// exact scans. Zero (the default) lets the engine decide: dense-block
+	// queries (auto-batch, BatchSize ≥ 64, or geometric RoundGrowth) are
+	// offered however many worker slots are idle when they start — a lone
+	// query uses the whole pool, concurrent traffic shares it. Whatever
+	// the cap, the core driver's fan-out is adaptive per round: it is
+	// clamped to the machine's schedulable parallelism, rounds too small
+	// to amortize the pool dispatch run inline, and a periodic timing
+	// probe falls back to the sequential loop whenever parallel draws do
+	// not actually run faster — so Workers is safe to leave on (or at 0)
+	// everywhere, single-core hosts included. Results are bit-for-bit
+	// identical for every value (each group's randomness is its own
+	// seed-derived stream; timing only picks how the same draws execute),
+	// so Workers is purely a throughput knob. 1 pins the query to a
+	// single goroutine. Negative values are invalid.
 	Workers int
 
 	// ShareSamples opts this query into the engine's per-table sample

@@ -126,7 +126,10 @@ type Options struct {
 	OnPartial func(group string, estimate float64)
 }
 
-// query translates legacy options into the equivalent Query.
+// query translates legacy options into the equivalent Query. BatchSize is
+// pinned to 1 — the paper's one-sample rounds — because these wrappers
+// promise seed-for-seed identity with the original scalar algorithms,
+// while a zero BatchSize on a Query now selects the auto-batch schedule.
 func (o Options) query() Query {
 	return Query{
 		Delta:           o.Delta,
@@ -135,6 +138,7 @@ func (o Options) query() Query {
 		WithReplacement: o.WithReplacement,
 		Seed:            o.Seed,
 		MaxRounds:       o.MaxRounds,
+		BatchSize:       1,
 	}
 }
 
