@@ -8,10 +8,17 @@
 // airline,arrdelay,elapsed,depdelay — filter long-haul flights with
 // -where "elapsed>=150").
 //
+// With -out, synthetic kinds stream straight into an on-disk columnar
+// segment directory (see internal/dataset: WriteSegments/OpenSegments)
+// instead of CSV: rows are generated group-contiguously and appended one
+// at a time through the segment writer, so memory stays O(1) in the row
+// count — the way to materialize tables far larger than RAM.
+//
 // Usage:
 //
 //	datagen -kind mixture -k 10 -rows 1000000 > mixture.csv
 //	datagen -kind flights -rows 1000000 -attr arrdelay > flights.csv
+//	datagen -kind mixture -k 10 -rows 2000000000 -out /data/mixture.seg
 //
 // Kinds: truncnorm, mixture, bernoulli, hard, flights.
 package main
@@ -36,12 +43,18 @@ func main() {
 		std   = flag.Float64("std", 0, "fixed std for -kind truncnorm (0 = random)")
 		attr  = flag.String("attr", "arrdelay", "flights attribute: elapsed | arrdelay | depdelay")
 		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", "", "write columnar segments to this directory instead of CSV to stdout (synthetic kinds only)")
 	)
 	flag.Parse()
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()
 
 	if *kind == "flights" {
+		if *out != "" {
+			// Flight rows arrive airline-interleaved, not group-contiguous;
+			// the in-memory builder handles that regrouping.
+			fatal(fmt.Errorf("-out supports synthetic kinds only; for flights, ingest the CSV and use vizsample -write-segments"))
+		}
 		// The chosen attribute is the value column; the other two ride
 		// along as named extra columns so the CSV can be filtered on them.
 		cols := map[string]int{"arrdelay": 0, "elapsed": 1, "depdelay": 2}
@@ -68,8 +81,6 @@ func main() {
 		}
 		return
 	}
-	fmt.Fprintln(w, "group,value,aux")
-
 	var kk workload.Kind
 	switch *kind {
 	case "truncnorm":
@@ -89,6 +100,36 @@ func main() {
 		fatal(err)
 	}
 	rng := xrand.New(*seed ^ 0xda7a)
+
+	if *out != "" {
+		// Stream rows straight into the segment writer: groups are
+		// generated contiguously, so each maps to exactly one StartGroup
+		// and the resident set never grows with -rows.
+		sw, err := dataset.CreateSegments(*out, "value", "aux")
+		if err != nil {
+			fatal(err)
+		}
+		for _, g := range u.Groups {
+			dg := g.(*dataset.DistGroup)
+			if err := sw.StartGroup(g.Name()); err != nil {
+				fatal(err)
+			}
+			for i := int64(0); i < dg.Size(); i++ {
+				v := dg.Draw(rng)
+				aux := v * (0.75 + 0.5*rng.Float64())
+				if err := sw.Append(v, aux); err != nil {
+					fatal(err)
+				}
+			}
+		}
+		if err := sw.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "datagen: wrote %d rows across %d groups to %s\n", *rows, len(u.Groups), *out)
+		return
+	}
+
+	fmt.Fprintln(w, "group,value,aux")
 	for _, g := range u.Groups {
 		dg := g.(*dataset.DistGroup)
 		for i := int64(0); i < dg.Size(); i++ {

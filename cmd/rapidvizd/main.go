@@ -8,6 +8,8 @@
 //
 //	rapidvizd -csv data.csv [-addr :8080]
 //	rapidvizd -demo [-rows 200000] [-seed 1]
+//	rapidvizd -segments dir      # serve an on-disk columnar segment
+//	                             # table (mmap-backed; larger than RAM)
 //
 // Serving knobs:
 //
@@ -52,6 +54,7 @@ func main() {
 		maxRounds   = flag.Int("maxrounds", 0, "per-query round budget (0 = unlimited)")
 		maxDraws    = flag.Int64("maxdraws", 0, "per-query draw budget for noindex (0 = unlimited)")
 		cache       = flag.Int("cache", 0, "result cache entries (0 = 256, negative = disabled)")
+		segments    = flag.String("segments", "", "serve an on-disk columnar segment directory (mmap-backed; instead of -csv/-demo)")
 	)
 	flag.Parse()
 
@@ -60,12 +63,19 @@ func main() {
 		err   error
 	)
 	switch {
+	case *segments != "":
+		var st *rapidviz.SegmentTable
+		st, err = rapidviz.OpenSegments(*segments)
+		if err == nil {
+			defer st.Close()
+			table = st.Table
+		}
 	case *demo:
 		table, err = demoTable(*rows, *seed)
 	case *csvPath != "":
 		table, err = rapidviz.TableFromCSVFile(*csvPath)
 	default:
-		fmt.Fprintln(os.Stderr, "rapidvizd: need -csv FILE or -demo")
+		fmt.Fprintln(os.Stderr, "rapidvizd: need -csv FILE, -demo, or -segments DIR")
 		os.Exit(2)
 	}
 	if err != nil {

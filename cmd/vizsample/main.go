@@ -8,6 +8,16 @@
 //	          [-agg avg] [-bound hoeffding] [-batch 64] [-workers 0]
 //	          [-timeout 30s] [-stream] [-where "col>=v,col<v"]
 //	vizsample -demo              # run on a built-in synthetic dataset
+//	vizsample -segments dir      # query an on-disk columnar segment table
+//	vizsample -csv data.csv -write-segments dir   # ingest once, then exit
+//
+// -segments opens a columnar segment directory (written by
+// -write-segments, datagen -out, or Table.WriteSegments) instead of
+// ingesting a CSV: columns are memory-mapped, rows page in only as draws
+// touch them, and results are bit-for-bit identical to the in-memory
+// table for the same query and seed — the path for tables larger than
+// RAM. -write-segments ingests the input (-csv or -demo), writes it as a
+// segment directory, and exits; pair it with any ingestion flags.
 //
 // -bound picks the concentration inequality behind the confidence
 // intervals: hoeffding (the paper's schedule, default), bernstein
@@ -70,6 +80,8 @@ func main() {
 		maxDraws   = flag.Int64("maxdraws", 0, "cap total draws for -algo noindex (0 = unlimited; the cap voids the guarantee)")
 		stream     = flag.Bool("stream", false, "print each group the moment its estimate settles")
 		where      = flag.String("where", "", `predicate filter, e.g. "elapsed>=150,value<600" or "group in AA|DL" (comma = AND)`)
+		segments   = flag.String("segments", "", "query an on-disk columnar segment directory (mmap-backed; instead of -csv/-demo)")
+		writeSegs  = flag.String("write-segments", "", "ingest (-csv or -demo), write the table as a segment directory, and exit")
 	)
 	flag.Parse()
 
@@ -80,16 +92,34 @@ func main() {
 
 	var table *rapidviz.Table
 	switch {
+	case *segments != "":
+		if *csvPath != "" || *demo {
+			fatal(fmt.Errorf("-segments replaces ingestion; drop -csv/-demo"))
+		}
+		st, err := rapidviz.OpenSegments(*segments)
+		if err != nil {
+			fatal(err)
+		}
+		defer st.Close()
+		table = st.Table
 	case *demo:
 		table, err = demoTable(*seed)
 	case *csvPath != "":
 		table, err = rapidviz.TableFromCSVFile(*csvPath)
 	default:
-		fmt.Fprintln(os.Stderr, "vizsample: need -csv FILE or -demo")
+		fmt.Fprintln(os.Stderr, "vizsample: need -csv FILE, -demo, or -segments DIR")
 		os.Exit(2)
 	}
 	if err != nil {
 		fatal(err)
+	}
+
+	if *writeSegs != "" {
+		if err := table.WriteSegments(*writeSegs); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "vizsample: wrote %d groups to %s\n", len(table.Groups()), *writeSegs)
+		return
 	}
 	// The ingestion builder tracked the value range, so the queries below
 	// need not rescan the columns to infer a bound. (The ingested max also

@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/conc"
@@ -138,6 +139,96 @@ type roundLoop struct {
 	orderBuf []int      // the isolation sweeps' sort permutation, carried across rounds
 	orderFor int8       // which sweep family orderBuf belongs to
 	traceEps []float64  // scratch per-group widths handed to GroupTracer
+
+	// scratch is the pooled arena behind every per-run buffer above that
+	// does not escape into the Result (estimates and settledR do escape and
+	// are always freshly allocated). result() returns it to the pool; runs
+	// that never reach result() — cancellation, multiagg's phase-1 loop —
+	// simply drop it to the GC, which is always correct, just unpooled.
+	scratch *loopScratch
+}
+
+// loopScratch holds one run's reusable buffers between runs. An engine
+// serving a query stream re-runs the round loop constantly with the same
+// group counts, so recycling the ~10 per-run slices (and the per-worker
+// block buffers, the largest of them) takes the driver's steady-state
+// allocation rate to near zero — the open remainder of ROADMAP item 4.
+type loopScratch struct {
+	active    []bool
+	isolated  []bool
+	drained   []bool
+	frozenEps []float64
+	epsG      []float64
+	traceEps  []float64
+	actIdx    []int
+	drawIdx   []int
+	drawN     []int
+	orderBuf  []int
+	ivsBuf    []interval
+	bufs      [][]float64
+}
+
+var loopScratchPool = sync.Pool{New: func() any { return new(loopScratch) }}
+
+// boolScratch returns a zeroed length-k slice reusing buf's storage.
+func boolScratch(buf []bool, k int) []bool {
+	if cap(buf) < k {
+		return make([]bool, k)
+	}
+	buf = buf[:k]
+	for i := range buf {
+		buf[i] = false
+	}
+	return buf
+}
+
+// f64Scratch returns a zeroed length-k slice reusing buf's storage.
+func f64Scratch(buf []float64, k int) []float64 {
+	if cap(buf) < k {
+		return make([]float64, k)
+	}
+	buf = buf[:k]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// intScratch returns an empty slice with capacity ≥ k reusing buf's storage.
+func intScratch(buf []int, k int) []int {
+	if cap(buf) < k {
+		return make([]int, 0, k)
+	}
+	return buf[:0]
+}
+
+// release hands the run's scratch buffers back to the pool. The roundLoop
+// must not be used afterwards.
+func (lp *roundLoop) release() {
+	sc := lp.scratch
+	if sc == nil {
+		return
+	}
+	lp.scratch = nil
+	// Store back the possibly grown/reallocated slices so the pool keeps
+	// the largest incarnation of each buffer.
+	sc.active = lp.active
+	sc.isolated = lp.isolated
+	sc.drained = lp.drained
+	sc.frozenEps = lp.frozenEps
+	if lp.epsG != nil {
+		sc.epsG = lp.epsG
+	}
+	if lp.traceEps != nil {
+		sc.traceEps = lp.traceEps
+	}
+	sc.actIdx = lp.actIdx
+	sc.drawIdx = lp.drawIdx
+	sc.drawN = lp.drawN
+	sc.orderBuf = lp.orderBuf
+	sc.ivsBuf = lp.ivsBuf
+	sc.bufs = lp.bufs
+	loopScratchPool.Put(sc)
 }
 
 // parMode values: the fan-out decision state machine.
@@ -215,9 +306,12 @@ func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo round
 		sampler.EnableBlockKernels()
 	}
 	bound := newRunBound(u, opts)
+	// Per-run buffers come from the scratch pool; only estimates and
+	// settledR escape into the Result and are always freshly allocated.
+	sc := loopScratchPool.Get().(*loopScratch)
 	var epsG []float64
 	if bound != nil {
-		epsG = make([]float64, k)
+		epsG = f64Scratch(sc.epsG, k)
 		if bound.NeedsMoments() {
 			// Native draws fold straight into the sampler's per-group
 			// moments; algorithms with a transform hook (drawOne) observe
@@ -225,6 +319,16 @@ func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo round
 			// moments describe the variable actually being estimated.
 			sampler.EnableMoments(algo.drawOne == nil)
 		}
+	}
+	var traceEps []float64
+	if opts.Tracer != nil {
+		traceEps = f64Scratch(sc.traceEps, k)
+	}
+	nb := max(1, workers)
+	if cap(sc.bufs) < nb {
+		grown := make([][]float64, nb)
+		copy(grown, sc.bufs)
+		sc.bufs = grown
 	}
 	return &roundLoop{
 		u:         u,
@@ -236,16 +340,20 @@ func newRoundLoop(u *dataset.Universe, rng *xrand.RNG, opts *Options, algo round
 		algo:      algo,
 		k:         k,
 		estimates: make([]float64, k),
-		active:    make([]bool, k),
+		active:    boolScratch(sc.active, k),
 		settledR:  make([]int, k),
-		frozenEps: make([]float64, k),
-		isolated:  make([]bool, k),
-		actIdx:    make([]int, 0, k),
-		drained:   make([]bool, k),
+		frozenEps: f64Scratch(sc.frozenEps, k),
+		isolated:  boolScratch(sc.isolated, k),
+		actIdx:    intScratch(sc.actIdx, k),
+		drained:   boolScratch(sc.drained, k),
 		workers:   workers,
-		drawIdx:   make([]int, 0, k),
-		drawN:     make([]int, 0, k),
-		bufs:      make([][]float64, max(1, workers)),
+		drawIdx:   intScratch(sc.drawIdx, k),
+		drawN:     intScratch(sc.drawN, k),
+		bufs:      sc.bufs[:nb],
+		ivsBuf:    sc.ivsBuf[:0],
+		orderBuf:  sc.orderBuf[:0],
+		traceEps:  traceEps,
+		scratch:   sc,
 	}
 }
 
@@ -681,13 +789,16 @@ func (lp *roundLoop) trace(m int, eps float64) {
 	lp.opts.Tracer.OnRound(m, eps, flags, est, lp.sampler.Total())
 }
 
-// result assembles the common Result shape.
+// result assembles the common Result shape and returns the run's scratch
+// buffers to the pool — it must be the loop's final use; none of the pooled
+// fields may be touched afterwards (every field the Result carries is
+// either freshly allocated here or was never pooled).
 func (lp *roundLoop) result() *Result {
 	est := lp.estimates
 	if lp.algo.display != nil {
 		est = lp.algo.display
 	}
-	return &Result{
+	res := &Result{
 		Estimates:    est,
 		SampleCounts: append([]int64(nil), lp.sampler.Counts()...),
 		TotalSamples: lp.sampler.Total(),
@@ -696,4 +807,6 @@ func (lp *roundLoop) result() *Result {
 		FinalEpsilon: lp.eps,
 		Capped:       lp.capped,
 	}
+	lp.release()
+	return res
 }

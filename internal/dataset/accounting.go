@@ -29,9 +29,11 @@ import (
 // stream) is still per group and unsynchronized: at most one goroutine may
 // draw from a given group at a time.
 type Sampler struct {
-	u       *Universe
-	rng     *xrand.RNG
-	streams []*xrand.RNG
+	u   *Universe
+	rng *xrand.RNG
+	// streams holds the per-group generators as one contiguous value slice
+	// (one allocation for k streams, not k); RNGFor hands out &streams[i].
+	streams []xrand.RNG
 	source  DrawSource
 	without bool
 
@@ -83,9 +85,9 @@ func NewSampler(u *Universe, rng *xrand.RNG, withoutReplacement bool) *Sampler {
 // groups were visited — so runs produce identical results whether groups
 // are drawn sequentially or fanned across any number of workers.
 func NewStreamSampler(u *Universe, base uint64, withoutReplacement bool) *Sampler {
-	streams := make([]*xrand.RNG, u.K())
+	streams := make([]xrand.RNG, u.K())
 	for i := range streams {
-		streams[i] = xrand.NewStream(base, uint64(i))
+		streams[i] = xrand.Stream(base, uint64(i))
 	}
 	return newSampler(u, nil, streams, withoutReplacement)
 }
@@ -109,7 +111,7 @@ func NewSourceSampler(u *Universe, src DrawSource, withoutReplacement bool) *Sam
 	}
 }
 
-func newSampler(u *Universe, rng *xrand.RNG, streams []*xrand.RNG, withoutReplacement bool) *Sampler {
+func newSampler(u *Universe, rng *xrand.RNG, streams []xrand.RNG, withoutReplacement bool) *Sampler {
 	if withoutReplacement {
 		for _, g := range u.Groups {
 			if wg, ok := g.(WithoutReplacementGroup); ok {
@@ -276,7 +278,7 @@ func (s *Sampler) RNG() *xrand.RNG { return s.rng }
 // them, which core.Run enforces.
 func (s *Sampler) RNGFor(i int) *xrand.RNG {
 	if s.streams != nil {
-		return s.streams[i]
+		return &s.streams[i]
 	}
 	return s.rng
 }

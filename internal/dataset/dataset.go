@@ -18,6 +18,7 @@ package dataset
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/xrand"
 )
@@ -90,7 +91,34 @@ type SliceGroup struct {
 
 	mean float64
 	maxv float64
+
+	// seg marks the group segment-backed (values alias an mmapped column
+	// chunk): block draws stage their row indices first and gather the
+	// values in ascending row order, so a round touches its O(batch) pages
+	// with page-cache-friendly locality instead of faulting them in random
+	// order. The value stream is unchanged — rows are chosen by the exact
+	// same Fisher–Yates / Intn sequence and folded in draw order.
+	seg bool
+	// sparse switches the without-replacement permutation to the sparse
+	// map form: disp records only the displaced entries (perm[i] != i),
+	// identity elsewhere. Same arrangement and RNG discipline as the dense
+	// array, O(draws) memory instead of O(rows) — what lets a group far
+	// larger than RAM be sampled without replacement. Only segment-backed
+	// groups past sparsePermGate use it.
+	sparse bool
+	disp   map[int32]int32
+
+	rowBuf []int32  // staged block rows, draw order
+	keyBuf []uint64 // (row<<32 | slot) sort keys for the page-ordered gather
+	valBuf []float64
 }
+
+// sparsePermGate is the row count above which a segment-backed group
+// tracks its Fisher–Yates permutation sparsely. Below it the dense int32
+// array (4 bytes/row) is cheap and faster per step; above it the array
+// alone would rival the mapped data in size, defeating out-of-core
+// sampling. A var so tests can force the sparse path on small groups.
+var sparsePermGate = 1 << 22
 
 // NewSliceGroup returns a materialized group over the given values.
 // The values slice is retained; callers must not mutate it afterwards.
@@ -108,6 +136,23 @@ func NewSliceGroup(name string, values []float64) *SliceGroup {
 	}
 	g.mean = sum / float64(len(values))
 	return g
+}
+
+// newSegmentSliceGroup returns a group over an mmapped column chunk whose
+// mean and max were recorded in the segment manifest at write time — no
+// construction scan, so opening a table faults in zero data pages.
+func newSegmentSliceGroup(name string, values []float64, mean, maxv float64) *SliceGroup {
+	if len(values) == 0 {
+		panic(fmt.Sprintf("dataset: group %q has no values", name))
+	}
+	return &SliceGroup{
+		name:   name,
+		values: values,
+		mean:   mean,
+		maxv:   maxv,
+		seg:    true,
+		sparse: len(values) > sparsePermGate,
+	}
 }
 
 // Name returns the group's name.
@@ -130,10 +175,66 @@ func (g *SliceGroup) Draw(r *xrand.RNG) float64 {
 
 // DrawBatch fills dst with uniform with-replacement samples in one call.
 func (g *SliceGroup) DrawBatch(r *xrand.RNG, dst []float64) {
+	if g.seg && len(dst) > 1 {
+		g.stageBatchWR(r, len(dst))
+		g.gatherRows(g.rowBuf, dst)
+		return
+	}
 	vals := g.values
 	n := len(vals)
 	for i := range dst {
 		dst[i] = vals[r.Intn(n)]
+	}
+}
+
+// stageBatchWR fills rowBuf with count with-replacement row picks, consuming
+// the RNG exactly as the direct loop would.
+func (g *SliceGroup) stageBatchWR(r *xrand.RNG, count int) {
+	if cap(g.rowBuf) < count {
+		g.rowBuf = make([]int32, count)
+	}
+	rows := g.rowBuf[:count]
+	n := len(g.values)
+	for i := range rows {
+		rows[i] = int32(r.Intn(n))
+	}
+	g.rowBuf = rows
+}
+
+// valScratch returns the reusable value-staging buffer sized to n.
+func (g *SliceGroup) valScratch(n int) []float64 {
+	if cap(g.valBuf) < n {
+		g.valBuf = make([]float64, n)
+	}
+	g.valBuf = g.valBuf[:n]
+	return g.valBuf
+}
+
+// gatherRows copies values[rows[i]] into dst[i] for every i, but performs
+// the reads in ascending row order: keys pack (row<<32 | slot) so a single
+// sort yields both the page-friendly visit order and where each value
+// belongs in the draw-order output. On an mmapped column this turns a
+// random page walk into a short sorted sweep — the round touches O(batch)
+// pages, clustered, and sequential enough for OS readahead to help.
+func (g *SliceGroup) gatherRows(rows []int32, dst []float64) {
+	if len(rows) <= 1 {
+		for i, row := range rows {
+			dst[i] = g.values[row]
+		}
+		return
+	}
+	if cap(g.keyBuf) < len(rows) {
+		g.keyBuf = make([]uint64, len(rows))
+	}
+	keys := g.keyBuf[:len(rows)]
+	for pos, row := range rows {
+		keys[pos] = uint64(uint32(row))<<32 | uint64(uint32(pos))
+	}
+	slices.Sort(keys)
+	g.keyBuf = keys
+	vals := g.values
+	for _, k := range keys {
+		dst[uint32(k)] = vals[int32(k>>32)]
 	}
 }
 
@@ -143,14 +244,48 @@ func (g *SliceGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
 	if g.next >= len(g.values) {
 		return 0, false
 	}
-	g.ensurePerm()
-	// Fisher–Yates step: choose the next element uniformly from the
-	// unconsumed suffix [next, n).
-	j := g.next + r.Intn(len(g.values)-g.next)
-	g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
-	v := g.values[g.perm[g.next]]
+	return g.values[g.permStep(r)], true
+}
+
+// permStep performs one inside-out Fisher–Yates step — choose the next
+// element uniformly from the unconsumed suffix [next, n) — and returns the
+// row it lands on. Dense and sparse permutations consume the RNG
+// identically, so the drawn row sequence is bit-for-bit the same either
+// way.
+func (g *SliceGroup) permStep(r *xrand.RNG) int32 {
+	next := g.next
+	j := next + r.Intn(len(g.values)-next)
 	g.next++
-	return v, true
+	if g.sparse {
+		pn := g.permAt(int32(next))
+		if j != next {
+			// Swap perm[next] and perm[j]: both displaced entries must be
+			// recorded so the retained arrangement stays a valid permutation
+			// across ResetDraws.
+			pj := g.permAt(int32(j))
+			if g.disp == nil {
+				g.disp = make(map[int32]int32)
+			}
+			g.disp[int32(next)] = pj
+			g.disp[int32(j)] = pn
+			pn = pj
+		}
+		return pn
+	}
+	g.ensurePerm()
+	g.perm[next], g.perm[j] = g.perm[j], g.perm[next]
+	return g.perm[next]
+}
+
+// permAt reads the sparse permutation at index i: displaced entries live in
+// disp, everything else is identity.
+func (g *SliceGroup) permAt(i int32) int32 {
+	if g.disp != nil {
+		if v, ok := g.disp[i]; ok {
+			return v
+		}
+	}
+	return i
 }
 
 // DrawBatchWithoutReplacement consumes up to len(dst) further permutation
@@ -159,6 +294,11 @@ func (g *SliceGroup) DrawBatchWithoutReplacement(r *xrand.RNG, dst []float64) in
 	n := len(g.values)
 	if g.next >= n {
 		return 0
+	}
+	if g.seg && len(dst) > 1 {
+		taken := g.stageBatchWOR(r, len(dst))
+		g.gatherRows(g.rowBuf[:taken], dst[:taken])
+		return taken
 	}
 	g.ensurePerm()
 	perm, vals := g.perm, g.values
@@ -170,6 +310,24 @@ func (g *SliceGroup) DrawBatchWithoutReplacement(r *xrand.RNG, dst []float64) in
 		g.next++
 		taken++
 	}
+	return taken
+}
+
+// stageBatchWOR runs up to count Fisher–Yates steps, recording the drawn
+// rows in rowBuf without touching the value column, and returns how many
+// steps ran before exhaustion.
+func (g *SliceGroup) stageBatchWOR(r *xrand.RNG, count int) int {
+	if cap(g.rowBuf) < count {
+		g.rowBuf = make([]int32, count)
+	}
+	rows := g.rowBuf[:count]
+	n := len(g.values)
+	taken := 0
+	for taken < count && g.next < n {
+		rows[taken] = g.permStep(r)
+		taken++
+	}
+	g.rowBuf = rows
 	return taken
 }
 
@@ -190,6 +348,19 @@ func (g *SliceGroup) ensurePerm() {
 // O(1) rather than O(n). The new run's sample stream is therefore uniform
 // but not a replay of the previous run's.
 func (g *SliceGroup) ResetDraws() { g.next = 0 }
+
+// resetView clears all per-view draw state: the permutation (dense and
+// sparse), the consumption cursor, and the staging buffers. Views copy a
+// group by value, so without this the copy would share (and corrupt) the
+// original's permutation arrays.
+func (g *SliceGroup) resetView() {
+	g.perm = nil
+	g.disp = nil
+	g.next = 0
+	g.rowBuf = nil
+	g.keyBuf = nil
+	g.valBuf = nil
+}
 
 // Scan visits every value.
 func (g *SliceGroup) Scan(fn func(v float64)) int64 {

@@ -115,6 +115,22 @@ func (g *SliceGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) (fl
 	if g.next >= total {
 		return 0, 0
 	}
+	if g.seg && n > 1 {
+		// Segment-backed: stage the block's rows first, gather the mmapped
+		// column in ascending row order, then fold sum and moments in draw
+		// order — the same value sequence, with the page faults clustered.
+		taken := g.stageBatchWOR(r, n)
+		vals := g.valScratch(taken)
+		g.gatherRows(g.rowBuf[:taken], vals)
+		sum := 0.0
+		for _, v := range vals {
+			sum += v
+			if mom != nil {
+				mom.Add(v)
+			}
+		}
+		return sum, taken
+	}
 	g.ensurePerm()
 	perm, vals := g.perm, g.values
 	sum := 0.0
@@ -136,6 +152,18 @@ func (g *SliceGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) (fl
 // drawBlockSumWR is DrawBatch fused with the sum and moments fold,
 // continuing the caller's running accumulator.
 func (g *SliceGroup) drawBlockSumWR(r *xrand.RNG, n int, sum float64, mom *conc.Moments) float64 {
+	if g.seg && n > 1 {
+		g.stageBatchWR(r, n)
+		buf := g.valScratch(n)
+		g.gatherRows(g.rowBuf, buf)
+		for _, v := range buf {
+			sum += v
+			if mom != nil {
+				mom.Add(v)
+			}
+		}
+		return sum
+	}
 	vals := g.values
 	sz := len(vals)
 	for k := 0; k < n; k++ {

@@ -1,0 +1,666 @@
+// Persistent columnar segments: the on-disk form of a Table, written once
+// and served across process restarts through mmap-backed zero-copy views.
+//
+// A segment directory holds one file per column plus a manifest:
+//
+//	manifest.json   format magic/version, column schema, per-group layout
+//	value.seg       the aggregated value column
+//	extra.0.seg …   one file per extra (filterable) column, by position
+//
+// Every .seg file is a 64-byte header followed by the column's float64
+// values in little-endian byte order, packed in the table's group order
+// (group i's rows occupy rows [offset_i, offset_i+rows_i), exactly like the
+// in-memory Table.col layout). The header is:
+//
+//	[0:8)   magic "RVSEGCOL"
+//	[8:12)  format version, uint32 LE
+//	[12:16) endianness marker 0x01020304, uint32 LE
+//	[16:24) row count, uint64 LE
+//	[24:32) data byte length (rows*8), uint64 LE
+//	[32:36) CRC-32C (Castagnoli) of header bytes [0:32), uint32 LE
+//	[36:64) zero padding
+//
+// Data starts at byte 64, so the mmap base (page-aligned) plus 64 keeps the
+// float64 data 8-byte aligned — the contract mmapfile.Float64s enforces.
+// Per-group, per-column CRC-32C checksums of the raw data bytes live in the
+// manifest; OpenSegments validates structure eagerly but reads no data
+// pages, and VerifyChecksums performs the full (page-faulting) integrity
+// pass on demand.
+package dataset
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"repro/internal/mmapfile"
+)
+
+const (
+	segColMagic     = "RVSEGCOL"
+	segTableMagic   = "RVSEGTBL"
+	segVersion      = 1
+	segEndianMarker = 0x01020304
+
+	// SegmentDataOffset is the byte offset of the float64 column data in
+	// every .seg file; the header occupies [0, SegmentDataOffset).
+	SegmentDataOffset = 64
+
+	segManifestName = "manifest.json"
+	segValueName    = "value.seg"
+)
+
+// castagnoli is the CRC-32C table shared by every checksum in the format.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// SegmentValuePath returns the path of the value column file inside a
+// segment directory — exported for readers (needletail's disk scenario)
+// that access the column by pread rather than through OpenSegments.
+func SegmentValuePath(dir string) string { return filepath.Join(dir, segValueName) }
+
+// segExtraPath names extra column e's file. Extras are index-named so group
+// and column names never need filename sanitization.
+func segExtraPath(dir string, e int) string {
+	return filepath.Join(dir, fmt.Sprintf("extra.%d.seg", e))
+}
+
+// segManifest is the JSON manifest schema (format-internal).
+type segManifest struct {
+	Magic      string     `json:"magic"`
+	Version    int        `json:"version"`
+	ValueName  string     `json:"value_name"`
+	ExtraNames []string   `json:"extra_names,omitempty"`
+	Rows       int64      `json:"rows"`
+	MinValue   float64    `json:"min_value"`
+	MaxValue   float64    `json:"max_value"`
+	Groups     []segGroup `json:"groups"`
+}
+
+// segGroup records one group's layout and the statistics the in-memory
+// constructors would otherwise have to rescan the column for.
+type segGroup struct {
+	Name      string   `json:"name"`
+	Rows      int64    `json:"rows"`
+	Offset    int64    `json:"offset"` // row offset into every column
+	Mean      float64  `json:"mean"`
+	Max       float64  `json:"max"`
+	ValueCRC  uint32   `json:"value_crc"`
+	ExtraCRCs []uint32 `json:"extra_crcs,omitempty"`
+}
+
+// SegmentInfo is the exported summary of a segment directory's manifest:
+// enough for external readers (disksim's measured-IO scenario, tooling) to
+// locate groups inside the value column without opening the table.
+type SegmentInfo struct {
+	ValueName  string
+	ExtraNames []string
+	Rows       int64
+	MinValue   float64
+	MaxValue   float64
+	GroupNames []string
+	GroupRows  []int64 // rows per group; group i starts at sum(GroupRows[:i])
+}
+
+// ReadSegmentManifest reads and validates a segment directory's manifest
+// without opening any column data.
+func ReadSegmentManifest(dir string) (*SegmentInfo, error) {
+	man, err := readSegManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	info := &SegmentInfo{
+		ValueName:  man.ValueName,
+		ExtraNames: man.ExtraNames,
+		Rows:       man.Rows,
+		MinValue:   man.MinValue,
+		MaxValue:   man.MaxValue,
+	}
+	for _, g := range man.Groups {
+		info.GroupNames = append(info.GroupNames, g.Name)
+		info.GroupRows = append(info.GroupRows, g.Rows)
+	}
+	return info, nil
+}
+
+// SegmentWriter streams a table's rows into a segment directory without
+// ever materializing the table: groups are declared in order with
+// StartGroup and rows appended group-contiguously, so a writer's peak
+// memory is one bufio buffer per column regardless of row count. Close
+// finalizes headers and writes the manifest last (via rename), so a
+// directory with a valid manifest always has complete column files.
+type SegmentWriter struct {
+	dir        string
+	valueName  string
+	extraNames []string
+
+	files []*os.File // [0] = value column, [1+e] = extra e
+	bufs  []*bufWriter
+	man   segManifest
+
+	cur     *segGroup
+	curSum  float64
+	names   map[string]struct{}
+	scratch [8]byte
+	closed  bool
+	err     error // sticky: first failure poisons the writer
+}
+
+// bufWriter is a minimal buffered writer (we avoid bufio to keep the flush
+// and error paths explicit and the per-value write inlineable).
+type bufWriter struct {
+	f   *os.File
+	buf []byte
+}
+
+func (w *bufWriter) write8(p [8]byte) error {
+	w.buf = append(w.buf, p[:]...)
+	if len(w.buf) >= 1<<16 {
+		return w.flush()
+	}
+	return nil
+}
+
+func (w *bufWriter) flush() error {
+	if len(w.buf) == 0 {
+		return nil
+	}
+	_, err := w.f.Write(w.buf)
+	w.buf = w.buf[:0]
+	return err
+}
+
+// CreateSegments opens a segment writer over dir (created if missing) with
+// the given column schema. The caller must feed rows group-contiguously:
+// StartGroup then Append for each of the group's rows, repeated per group,
+// then Close.
+func CreateSegments(dir, valueName string, extraNames ...string) (*SegmentWriter, error) {
+	if valueName == "" {
+		valueName = "value"
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dataset: segments: %w", err)
+	}
+	w := &SegmentWriter{
+		dir:        dir,
+		valueName:  valueName,
+		extraNames: extraNames,
+		names:      map[string]struct{}{},
+		man: segManifest{
+			Magic:      segTableMagic,
+			Version:    segVersion,
+			ValueName:  valueName,
+			ExtraNames: extraNames,
+		},
+	}
+	paths := []string{SegmentValuePath(dir)}
+	for e := range extraNames {
+		paths = append(paths, segExtraPath(dir, e))
+	}
+	for _, path := range paths {
+		f, err := os.Create(path)
+		if err != nil {
+			w.abort()
+			return nil, fmt.Errorf("dataset: segments: %w", err)
+		}
+		w.files = append(w.files, f)
+		w.bufs = append(w.bufs, &bufWriter{f: f, buf: make([]byte, 0, 1<<16)})
+		// Header placeholder; the real header is written at Close, once the
+		// row count is known.
+		if _, err := f.Write(make([]byte, SegmentDataOffset)); err != nil {
+			w.abort()
+			return nil, fmt.Errorf("dataset: segments: %w", err)
+		}
+	}
+	return w, nil
+}
+
+// StartGroup begins the next group. Group names must be unique; the
+// previous group (if any) must have received at least one row.
+func (w *SegmentWriter) StartGroup(name string) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return fmt.Errorf("dataset: segments: writer is closed")
+	}
+	if err := w.finishGroup(); err != nil {
+		return err
+	}
+	if _, dup := w.names[name]; dup {
+		return w.fail(fmt.Errorf("dataset: segments: duplicate group %q (rows must be group-contiguous)", name))
+	}
+	w.names[name] = struct{}{}
+	w.man.Groups = append(w.man.Groups, segGroup{
+		Name:      name,
+		Offset:    w.man.Rows,
+		ExtraCRCs: make([]uint32, len(w.extraNames)),
+	})
+	w.cur = &w.man.Groups[len(w.man.Groups)-1]
+	w.curSum = 0
+	return nil
+}
+
+// Append writes one row of the current group: the aggregated value plus one
+// entry per declared extra column. Values must be non-negative — every
+// sampling algorithm requires values in [0, c].
+func (w *SegmentWriter) Append(value float64, extras ...float64) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.cur == nil {
+		return w.fail(fmt.Errorf("dataset: segments: Append before StartGroup"))
+	}
+	if len(extras) != len(w.extraNames) {
+		return w.fail(fmt.Errorf("dataset: segments: row has %d extra values, writer declared %d extra columns %v",
+			len(extras), len(w.extraNames), w.extraNames))
+	}
+	if value < 0 {
+		return w.fail(fmt.Errorf("dataset: segments: negative value %v; shift values into [0, c]", value))
+	}
+	binary.LittleEndian.PutUint64(w.scratch[:], math.Float64bits(value))
+	w.cur.ValueCRC = crc32.Update(w.cur.ValueCRC, castagnoli, w.scratch[:])
+	if err := w.bufs[0].write8(w.scratch); err != nil {
+		return w.fail(err)
+	}
+	for e, v := range extras {
+		binary.LittleEndian.PutUint64(w.scratch[:], math.Float64bits(v))
+		w.cur.ExtraCRCs[e] = crc32.Update(w.cur.ExtraCRCs[e], castagnoli, w.scratch[:])
+		if err := w.bufs[1+e].write8(w.scratch); err != nil {
+			return w.fail(err)
+		}
+	}
+	// Statistics fold in append order, matching NewSliceGroup's scan order
+	// bit for bit (sum from 0.0, max seeded by the first value), so opened
+	// groups report identical TrueMean/MaxValue to their in-memory twins.
+	if w.cur.Rows == 0 || value > w.cur.Max {
+		w.cur.Max = value
+	}
+	w.curSum += value
+	if w.man.Rows == 0 || value < w.man.MinValue {
+		w.man.MinValue = value
+	}
+	if w.man.Rows == 0 || value > w.man.MaxValue {
+		w.man.MaxValue = value
+	}
+	w.cur.Rows++
+	w.man.Rows++
+	return nil
+}
+
+// finishGroup seals the current group's statistics.
+func (w *SegmentWriter) finishGroup() error {
+	if w.cur == nil {
+		return nil
+	}
+	if w.cur.Rows == 0 {
+		return w.fail(fmt.Errorf("dataset: segments: group %q has no rows", w.cur.Name))
+	}
+	if w.cur.Rows > math.MaxInt32 {
+		return w.fail(fmt.Errorf("dataset: segments: group %q has %d rows; the draw layer addresses rows as int32 (max %d per group)",
+			w.cur.Name, w.cur.Rows, math.MaxInt32))
+	}
+	w.cur.Mean = w.curSum / float64(w.cur.Rows)
+	w.cur = nil
+	return nil
+}
+
+// fail records the first error and poisons subsequent calls.
+func (w *SegmentWriter) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// abort closes the column files without finalizing headers, leaving the
+// directory manifest-less (and therefore unopenable, by design).
+func (w *SegmentWriter) abort() {
+	for _, f := range w.files {
+		f.Close()
+	}
+	w.closed = true
+}
+
+// Close seals the last group, rewrites every column header with the final
+// row count, syncs the column files, and writes the manifest via a
+// temp-file rename so a crash mid-Close never leaves a valid manifest over
+// incomplete columns.
+func (w *SegmentWriter) Close() error {
+	if w.closed {
+		return w.err
+	}
+	w.closed = true
+	if w.err != nil {
+		w.abort()
+		return w.err
+	}
+	if err := w.finishGroup(); err != nil {
+		w.abort()
+		return err
+	}
+	if w.man.Rows == 0 {
+		w.abort()
+		return fmt.Errorf("dataset: segments: table has no rows")
+	}
+	var header [SegmentDataOffset]byte
+	copy(header[0:8], segColMagic)
+	binary.LittleEndian.PutUint32(header[8:12], segVersion)
+	binary.LittleEndian.PutUint32(header[12:16], segEndianMarker)
+	binary.LittleEndian.PutUint64(header[16:24], uint64(w.man.Rows))
+	binary.LittleEndian.PutUint64(header[24:32], uint64(w.man.Rows)*8)
+	binary.LittleEndian.PutUint32(header[32:36], crc32.Checksum(header[:32], castagnoli))
+	for c, f := range w.files {
+		if err := w.bufs[c].flush(); err != nil {
+			w.abort()
+			return fmt.Errorf("dataset: segments: %w", err)
+		}
+		if _, err := f.WriteAt(header[:], 0); err != nil {
+			w.abort()
+			return fmt.Errorf("dataset: segments: %w", err)
+		}
+		if err := f.Sync(); err != nil {
+			w.abort()
+			return fmt.Errorf("dataset: segments: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("dataset: segments: %w", err)
+		}
+	}
+	blob, err := json.MarshalIndent(&w.man, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dataset: segments: %w", err)
+	}
+	tmp := filepath.Join(w.dir, segManifestName+".tmp")
+	if err := os.WriteFile(tmp, append(blob, '\n'), 0o644); err != nil {
+		return fmt.Errorf("dataset: segments: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, segManifestName)); err != nil {
+		return fmt.Errorf("dataset: segments: %w", err)
+	}
+	return nil
+}
+
+// WriteSegments persists the table into dir as a columnar segment
+// directory that OpenSegments can serve across process restarts.
+func (t *Table) WriteSegments(dir string) error {
+	w, err := CreateSegments(dir, t.valueName, t.extraNames...)
+	if err != nil {
+		return err
+	}
+	scratch := make([]float64, len(t.extraNames))
+	for gi, name := range t.names {
+		if err := w.StartGroup(name); err != nil {
+			w.abort()
+			return err
+		}
+		for row := t.offsets[gi]; row < t.offsets[gi+1]; row++ {
+			for e := range scratch {
+				scratch[e] = t.extras[e][row]
+			}
+			if err := w.Append(t.col[row], scratch...); err != nil {
+				w.abort()
+				return err
+			}
+		}
+	}
+	return w.Close()
+}
+
+// SegmentTable is a Table served from a segment directory: its columns
+// alias mmapped files (zero-copy; the OS page cache is the tiering layer),
+// its groups are segment-backed SliceGroups whose block draws gather in
+// page order, and its statistics come from the manifest so Open faults in
+// no data pages. It satisfies every Table consumer — views, filters,
+// kernels, the broker, the serving layer — unchanged.
+//
+// Close invalidates every slice the table handed out; callers must finish
+// all queries first.
+type SegmentTable struct {
+	*Table
+	dir  string
+	maps []*mmapfile.Mapping
+	man  *segManifest
+	data [][]byte // raw column data regions, [0] = value, [1+e] = extra e
+}
+
+// Dir returns the segment directory the table was opened from.
+func (st *SegmentTable) Dir() string { return st.dir }
+
+// Mapped reports whether the columns are OS memory mappings (false means
+// the nommap read-at fallback copied them to the heap at open).
+func (st *SegmentTable) Mapped() bool {
+	for _, m := range st.maps {
+		if !m.Mapped() {
+			return false
+		}
+	}
+	return true
+}
+
+// Close unmaps every column. The table and every group, view, or filter
+// derived from it must not be used afterwards.
+func (st *SegmentTable) Close() error {
+	var err error
+	for _, m := range st.maps {
+		if cerr := m.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// DropPageCache asks the OS to evict the segment files' pages (best
+// effort), so cold-read measurements can run without remounting.
+func (st *SegmentTable) DropPageCache() error {
+	var err error
+	for _, m := range st.maps {
+		if derr := m.DropPageCache(); err == nil {
+			err = derr
+		}
+	}
+	return err
+}
+
+// AdviseRandom marks every column mapping as randomly accessed (best
+// effort): the kernel stops reading ahead around faults, so sampling's
+// residency tracks the pages draws actually touch instead of readahead
+// clusters. The right mode when the table is served out of core and
+// queries sample far fewer rows than they scan; a full-scan-heavy
+// workload should skip it and keep readahead.
+func (st *SegmentTable) AdviseRandom() error {
+	var err error
+	for _, m := range st.maps {
+		if aerr := m.AdviseRandom(); err == nil {
+			err = aerr
+		}
+	}
+	return err
+}
+
+// VerifyChecksums recomputes every per-group, per-column CRC-32C and
+// compares it against the manifest. This is the full-integrity pass — it
+// touches every data page (and therefore also warms the page cache).
+func (st *SegmentTable) VerifyChecksums() error {
+	for _, g := range st.man.Groups {
+		lo, hi := g.Offset*8, (g.Offset+g.Rows)*8
+		if got := crc32.Checksum(st.data[0][lo:hi], castagnoli); got != g.ValueCRC {
+			return fmt.Errorf("dataset: segments: group %q value column checksum mismatch (manifest %08x, data %08x)",
+				g.Name, g.ValueCRC, got)
+		}
+		for e := range st.man.ExtraNames {
+			want := uint32(0)
+			if e < len(g.ExtraCRCs) {
+				want = g.ExtraCRCs[e]
+			}
+			if got := crc32.Checksum(st.data[1+e][lo:hi], castagnoli); got != want {
+				return fmt.Errorf("dataset: segments: group %q column %q checksum mismatch (manifest %08x, data %08x)",
+					g.Name, st.man.ExtraNames[e], want, got)
+			}
+		}
+	}
+	return nil
+}
+
+// readSegManifest loads and structurally validates manifest.json.
+func readSegManifest(dir string) (*segManifest, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, segManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("dataset: segments: %w", err)
+	}
+	man := &segManifest{}
+	if err := json.Unmarshal(blob, man); err != nil {
+		return nil, fmt.Errorf("dataset: segments: %s: malformed manifest: %w", dir, err)
+	}
+	if man.Magic != segTableMagic {
+		return nil, fmt.Errorf("dataset: segments: %s: bad manifest magic %q (want %q)", dir, man.Magic, segTableMagic)
+	}
+	if man.Version != segVersion {
+		return nil, fmt.Errorf("dataset: segments: %s: unsupported format version %d (reader supports %d)", dir, man.Version, segVersion)
+	}
+	if man.Rows <= 0 {
+		return nil, fmt.Errorf("dataset: segments: %s: manifest declares %d rows", dir, man.Rows)
+	}
+	if len(man.Groups) == 0 {
+		return nil, fmt.Errorf("dataset: segments: %s: manifest declares no groups", dir)
+	}
+	seen := map[string]struct{}{}
+	var total int64
+	for gi, g := range man.Groups {
+		if g.Name == "" {
+			return nil, fmt.Errorf("dataset: segments: %s: group %d has an empty name", dir, gi)
+		}
+		if _, dup := seen[g.Name]; dup {
+			return nil, fmt.Errorf("dataset: segments: %s: duplicate group %q in manifest", dir, g.Name)
+		}
+		seen[g.Name] = struct{}{}
+		if g.Rows <= 0 {
+			return nil, fmt.Errorf("dataset: segments: %s: group %q declares %d rows", dir, g.Name, g.Rows)
+		}
+		if g.Rows > math.MaxInt32 {
+			return nil, fmt.Errorf("dataset: segments: %s: group %q declares %d rows; the draw layer addresses rows as int32 (max %d per group)",
+				dir, g.Name, g.Rows, math.MaxInt32)
+		}
+		if g.Offset != total {
+			return nil, fmt.Errorf("dataset: segments: %s: group %q declares offset %d, expected %d (chunks must be contiguous)",
+				dir, g.Name, g.Offset, total)
+		}
+		total += g.Rows
+	}
+	if total != man.Rows {
+		return nil, fmt.Errorf("dataset: segments: %s: group rows sum to %d but the manifest declares %d rows", dir, total, man.Rows)
+	}
+	if man.MinValue < 0 {
+		return nil, fmt.Errorf("dataset: segments: %s: manifest declares negative minimum value %v", dir, man.MinValue)
+	}
+	return man, nil
+}
+
+// openSegColumn maps one .seg file and validates its header against the
+// manifest's row count, returning the data region (past the header).
+func openSegColumn(path string, wantRows int64) (*mmapfile.Mapping, []byte, error) {
+	m, err := mmapfile.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("dataset: segments: %w", err)
+	}
+	b := m.Bytes()
+	fail := func(format string, args ...any) (*mmapfile.Mapping, []byte, error) {
+		// Render the message before unmapping: args may alias the mapped
+		// bytes, which are gone the instant Close returns.
+		msg := fmt.Sprintf(format, args...)
+		m.Close()
+		return nil, nil, fmt.Errorf("dataset: segments: %s: %s", path, msg)
+	}
+	if len(b) < SegmentDataOffset {
+		return fail("file is %d bytes, shorter than the %d-byte header (truncated?)", len(b), SegmentDataOffset)
+	}
+	if string(b[0:8]) != segColMagic {
+		return fail("bad magic %q (want %q)", b[0:8], segColMagic)
+	}
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != segVersion {
+		return fail("unsupported format version %d (reader supports %d)", v, segVersion)
+	}
+	if mk := binary.LittleEndian.Uint32(b[12:16]); mk != segEndianMarker {
+		return fail("bad endianness marker %08x (want %08x): file was written byte-swapped", mk, segEndianMarker)
+	}
+	if want := crc32.Checksum(b[:32], castagnoli); binary.LittleEndian.Uint32(b[32:36]) != want {
+		return fail("header checksum mismatch (header %08x, computed %08x)", binary.LittleEndian.Uint32(b[32:36]), want)
+	}
+	rows := binary.LittleEndian.Uint64(b[16:24])
+	if rows != uint64(wantRows) {
+		return fail("header declares %d rows, manifest declares %d", rows, wantRows)
+	}
+	dataLen := binary.LittleEndian.Uint64(b[24:32])
+	if dataLen != rows*8 {
+		return fail("header declares %d data bytes for %d rows (want %d)", dataLen, rows, rows*8)
+	}
+	if got := uint64(len(b) - SegmentDataOffset); got != dataLen {
+		return fail("file holds %d data bytes but the header declares %d (truncated?)", got, dataLen)
+	}
+	return m, b[SegmentDataOffset:], nil
+}
+
+// OpenSegments opens a segment directory written by WriteSegments,
+// CreateSegments, or a streaming writer, returning a table whose columns
+// are zero-copy views over the mmapped files. Open is lazy: headers and the
+// manifest are validated eagerly (descriptive errors for corrupt or
+// truncated input, never panics) but no data pages are read — group
+// statistics come from the manifest. Call VerifyChecksums for a full
+// integrity pass.
+func OpenSegments(dir string) (*SegmentTable, error) {
+	if !mmapfile.HostLittleEndian() {
+		return nil, fmt.Errorf("dataset: segments: this platform is big-endian; segment files are little-endian and served zero-copy")
+	}
+	man, err := readSegManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &SegmentTable{dir: dir, man: man}
+	paths := []string{SegmentValuePath(dir)}
+	for e := range man.ExtraNames {
+		paths = append(paths, segExtraPath(dir, e))
+	}
+	cols := make([][]float64, 0, len(paths))
+	for _, path := range paths {
+		m, data, err := openSegColumn(path, man.Rows)
+		if err != nil {
+			st.Close()
+			return nil, err
+		}
+		st.maps = append(st.maps, m)
+		st.data = append(st.data, data)
+		col, err := mmapfile.Float64s(data)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("dataset: segments: %s: %w", path, err)
+		}
+		cols = append(cols, col)
+	}
+
+	t := &Table{
+		col:        cols[0],
+		minV:       man.MinValue,
+		maxV:       man.MaxValue,
+		valueName:  man.ValueName,
+		extraNames: man.ExtraNames,
+		extras:     cols[1:],
+	}
+	t.offsets = make([]int, len(man.Groups)+1)
+	for gi, g := range man.Groups {
+		t.names = append(t.names, g.Name)
+		t.offsets[gi+1] = t.offsets[gi] + int(g.Rows)
+	}
+	t.groups = make([]Group, len(man.Groups))
+	for gi, g := range man.Groups {
+		t.groups[gi] = &TableGroup{
+			SliceGroup: *newSegmentSliceGroup(g.Name, t.col[t.offsets[gi]:t.offsets[gi+1]], g.Mean, g.Max),
+			table:      t,
+			index:      gi,
+		}
+	}
+	st.Table = t
+	return st, nil
+}

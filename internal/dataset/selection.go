@@ -102,8 +102,7 @@ func (v *View) View() []Group {
 			fresh[i] = &cp
 		case *TableGroup:
 			cp := *fg
-			cp.perm = nil
-			cp.next = 0
+			cp.resetView()
 			fresh[i] = &cp
 		default:
 			fresh[i] = g // unreachable: views hold only the two types above
@@ -184,8 +183,7 @@ func (t *Table) Filter(preds ...Predicate) (*View, error) {
 // inclusion-only path's "group index only" promise honest.
 func (v *View) addWhole(t *Table, gi int) {
 	tg := *(t.groups[gi].(*TableGroup))
-	tg.perm = nil
-	tg.next = 0
+	tg.resetView()
 	v.groups = append(v.groups, &tg)
 	v.rows += tg.Size()
 	if m := tg.MaxValue(); m > v.maxV {

@@ -113,8 +113,7 @@ func (t *Table) View() []Group {
 	views := make([]Group, len(t.groups))
 	for i, g := range t.groups {
 		tg := *(g.(*TableGroup))
-		tg.perm = nil
-		tg.next = 0
+		tg.resetView()
 		views[i] = &tg
 	}
 	return views

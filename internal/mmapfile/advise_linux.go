@@ -1,0 +1,37 @@
+//go:build linux
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// posix_fadvise advice value: the application will not access the pages in
+// the near future, so the kernel may drop them from the page cache.
+const fadvDontNeed = 4
+
+// dropPageCache evicts the file's cached pages via posix_fadvise(DONTNEED).
+// The file's dirty pages are already on disk (mappings are read-only), so
+// this is safe and needs no privileges; it only resets residency so the
+// next touch pays a real fault — what the cold-read benchmark measures.
+func dropPageCache(f *os.File) error {
+	_, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64, f.Fd(), 0, 0, fadvDontNeed, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// adviseRandom marks the mapped range as randomly accessed
+// (madvise(MADV_RANDOM)): the kernel disables readahead, so each fault
+// reads only the touched page instead of a cluster around it. For
+// draw-based sampling — whose whole point is touching O(samples) pages of
+// a table, not O(table) — readahead would inflate residency by an order
+// of magnitude.
+func adviseRandom(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	return syscall.Madvise(data, syscall.MADV_RANDOM)
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package mmapfile
+
+import "os"
+
+// dropPageCache is a no-op where posix_fadvise is unavailable; cold-read
+// benchmarks on such platforms measure warm reads and say so.
+func dropPageCache(f *os.File) error { return nil }
+
+// adviseRandom is a no-op where madvise is unavailable; residency is then
+// at the mercy of the platform's default readahead.
+func adviseRandom(data []byte) error { return nil }

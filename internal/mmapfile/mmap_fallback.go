@@ -1,0 +1,23 @@
+//go:build !unix || nommap
+
+package mmapfile
+
+import (
+	"io"
+	"os"
+)
+
+// openMapping is the portable fallback: the whole file is read into one
+// heap buffer at open. Bytes and alignment behave identically to the
+// mapped path; what is lost is lazy residency — the buffer is resident for
+// the mapping's lifetime, so tables larger than RAM need a platform with
+// real mmap.
+func openMapping(f *os.File, size int) ([]byte, bool, error) {
+	data := make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func closeMapping(data []byte, mapped bool) error { return nil }

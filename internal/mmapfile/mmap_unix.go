@@ -1,0 +1,26 @@
+//go:build unix && !nommap
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// openMapping maps size bytes of f read-only and shared: the kernel's page
+// cache backs the mapping directly, so repeated opens of one segment share
+// physical pages and residency tracks exactly the pages draws touch.
+func openMapping(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func closeMapping(data []byte, mapped bool) error {
+	if !mapped {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,140 @@
+// Package mmapfile provides read-only memory-mapped file access with a
+// portable read-at fallback. It is the IO shim under the dataset layer's
+// columnar segment reader: on platforms with mmap the mapped bytes are the
+// file — the OS page cache becomes the tiering layer and draws fault in
+// exactly the pages they touch — while on platforms without mmap (or when
+// built with -tags nommap) the same API is served from a heap copy read
+// once at open, trading residency for portability.
+//
+// Mappings are read-only; mutating the returned byte slice is undefined
+// behaviour on the mapped path (SIGSEGV) and silently local on the
+// fallback path, so callers must treat the bytes as immutable either way.
+package mmapfile
+
+import (
+	"fmt"
+	"os"
+	"unsafe"
+)
+
+// Mapping is a read-only view of one file's bytes.
+type Mapping struct {
+	f      *os.File
+	data   []byte
+	mapped bool
+	closed bool
+}
+
+// Open maps the named file read-only. Empty files yield an empty, valid
+// mapping.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	size := fi.Size()
+	if size == 0 {
+		return &Mapping{f: f}, nil
+	}
+	if size != int64(int(size)) {
+		f.Close()
+		return nil, fmt.Errorf("mmapfile: %s: size %d exceeds the address space", path, size)
+	}
+	data, mapped, err := openMapping(f, int(size))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("mmapfile: %s: %w", path, err)
+	}
+	return &Mapping{f: f, data: data, mapped: mapped}, nil
+}
+
+// Len returns the mapped length in bytes.
+func (m *Mapping) Len() int { return len(m.data) }
+
+// Bytes returns the file's bytes. The slice is valid until Close; callers
+// must not mutate it.
+func (m *Mapping) Bytes() []byte { return m.data }
+
+// Mapped reports whether the bytes are an OS mapping (true) or a heap copy
+// read at open (false, the nommap fallback). Callers use this only for
+// diagnostics — the two paths serve identical bytes.
+func (m *Mapping) Mapped() bool { return m.mapped }
+
+// File returns the underlying file, kept open for the mapping's lifetime.
+// Callers may ReadAt from it but must not close or mutate it.
+func (m *Mapping) File() *os.File { return m.f }
+
+// Close unmaps (or releases) the bytes and closes the file. The slices
+// handed out by Bytes and Float64s must not be used afterwards. Close is
+// idempotent.
+func (m *Mapping) Close() error {
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	var err error
+	if m.data != nil {
+		err = closeMapping(m.data, m.mapped)
+		m.data = nil
+	}
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// DropPageCache asks the OS to evict the file's pages from the page cache
+// (best effort; a no-op where unsupported). It exists so cold-read
+// benchmarks can measure first-touch fault cost without root.
+func (m *Mapping) DropPageCache() error {
+	if m.closed || !m.mapped {
+		return nil
+	}
+	return dropPageCache(m.f)
+}
+
+// AdviseRandom marks the mapping as randomly accessed, disabling the
+// kernel's readahead (best effort; a no-op where unsupported or on the
+// heap fallback). Draw-based sampling touches O(samples) scattered pages;
+// without this advice each fault drags a readahead cluster into memory,
+// inflating residency well past the pages actually read.
+func (m *Mapping) AdviseRandom() error {
+	if m.closed || !m.mapped {
+		return nil
+	}
+	return adviseRandom(m.data)
+}
+
+// HostLittleEndian reports whether the running platform stores multi-byte
+// integers least-significant byte first. Segment files are defined to be
+// little-endian, and the zero-copy Float64s reinterpretation is only valid
+// on a little-endian host; big-endian platforms must reject the cast with a
+// descriptive error rather than serve byte-swapped values.
+func HostLittleEndian() bool {
+	x := uint32(0x01020304)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x04
+}
+
+// Float64s reinterprets b as a []float64 without copying. It errors unless
+// b's length is a multiple of 8 and its base address is 8-byte aligned —
+// the alignment contract segment files guarantee by starting data on a
+// 64-byte boundary (mmap bases are page-aligned; heap buffers are at least
+// 8-byte aligned).
+func Float64s(b []byte) ([]float64, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("mmapfile: byte length %d is not a multiple of 8", len(b))
+	}
+	p := unsafe.Pointer(unsafe.SliceData(b))
+	if uintptr(p)%8 != 0 {
+		return nil, fmt.Errorf("mmapfile: base address %p is not 8-byte aligned", p)
+	}
+	return unsafe.Slice((*float64)(p), len(b)/8), nil
+}

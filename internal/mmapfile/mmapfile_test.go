@@ -1,0 +1,122 @@
+package mmapfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeFile(t *testing.T, name string, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestOpenReadsBytes(t *testing.T) {
+	payload := []byte("hello, columnar world")
+	path := writeFile(t, "blob", payload)
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != len(payload) {
+		t.Fatalf("Len = %d, want %d", m.Len(), len(payload))
+	}
+	if !bytes.Equal(m.Bytes(), payload) {
+		t.Fatalf("Bytes = %q, want %q", m.Bytes(), payload)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := writeFile(t, "empty", nil)
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", m.Len())
+	}
+}
+
+func TestOpenMissingFile(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("Open of a missing file succeeded")
+	}
+}
+
+func TestFloat64sRoundTrip(t *testing.T) {
+	want := []float64{0, 1.5, math.Pi, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	buf := make([]byte, 8*len(want))
+	for i, v := range want {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	path := writeFile(t, "floats", buf)
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	got, err := Float64s(m.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("value %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloat64sRejectsRaggedLength(t *testing.T) {
+	if _, err := Float64s(make([]byte, 12)); err == nil {
+		t.Fatal("Float64s accepted a length not divisible by 8")
+	}
+}
+
+func TestFloat64sRejectsMisalignment(t *testing.T) {
+	buf := make([]byte, 24)
+	if _, err := Float64s(buf[4:20]); err == nil {
+		t.Fatal("Float64s accepted a misaligned base")
+	}
+}
+
+func TestFloat64sEmpty(t *testing.T) {
+	got, err := Float64s(nil)
+	if err != nil || got != nil {
+		t.Fatalf("Float64s(nil) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestDropPageCache(t *testing.T) {
+	path := writeFile(t, "blob", bytes.Repeat([]byte{7}, 1<<16))
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	// Best-effort everywhere: must not error on supported platforms and
+	// must be a no-op elsewhere; bytes stay readable either way.
+	if err := m.DropPageCache(); err != nil {
+		t.Fatalf("DropPageCache: %v", err)
+	}
+	if m.Bytes()[0] != 7 || m.Bytes()[m.Len()-1] != 7 {
+		t.Fatal("bytes changed after DropPageCache")
+	}
+}

@@ -1,0 +1,108 @@
+package needletail
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/needletail/disksim"
+	"repro/internal/xrand"
+)
+
+// SegmentTupleSource is the NOINDEX scenario over a real on-disk segment
+// table (§6.3.6 meets the paper's disk experiments): tuples are drawn
+// uniformly from the whole table by an actual timed pread against the
+// value column — no group index is consulted to target the draw; the
+// group is only revealed afterwards, from the manifest's row layout, the
+// way a fetched tuple reveals its group-by attribute. Every read is
+// observed on the simulated device (ObserveBlockRead), so a run reports
+// both the cost model's charge and the measured wall-clock I/O for the
+// identical access pattern.
+//
+// It satisfies core.TupleSource. Draw has no error path, so the first
+// read failure is stored and surfaced via Err; after a failure every draw
+// returns (0, 0), which a caller checking Err will discard.
+type SegmentTupleSource struct {
+	f      *os.File
+	dev    *disksim.Device
+	info   *dataset.SegmentInfo
+	starts []int64 // starts[i] = first row of group i; len k+1, last = total rows
+	c      float64
+	err    error
+}
+
+// OpenSegmentTupleSource opens the value column of a segment directory for
+// measured random tuple access, charging reads against dev. The column
+// file is validated by the manifest's row count before any draws.
+func OpenSegmentTupleSource(dir string, dev *disksim.Device) (*SegmentTupleSource, error) {
+	info, err := dataset.ReadSegmentManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(dataset.SegmentValuePath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("needletail: segment tuple source: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("needletail: segment tuple source: %w", err)
+	}
+	if want := dataset.SegmentDataOffset + 8*info.Rows; st.Size() != want {
+		f.Close()
+		return nil, fmt.Errorf("needletail: segment tuple source: value column is %d bytes, manifest expects %d",
+			st.Size(), want)
+	}
+	starts := make([]int64, len(info.GroupRows)+1)
+	for i, n := range info.GroupRows {
+		starts[i+1] = starts[i] + n
+	}
+	return &SegmentTupleSource{f: f, dev: dev, info: info, starts: starts, c: info.MaxValue}, nil
+}
+
+// K returns the number of groups.
+func (s *SegmentTupleSource) K() int { return len(s.info.GroupNames) }
+
+// C returns the value bound (the manifest's maximum value).
+func (s *SegmentTupleSource) C() float64 { return s.c }
+
+// GroupNames returns the group names in segment order.
+func (s *SegmentTupleSource) GroupNames() []string { return s.info.GroupNames }
+
+// Rows returns the total row count.
+func (s *SegmentTupleSource) Rows() int64 { return s.info.Rows }
+
+// Err returns the first read error, if any draw failed.
+func (s *SegmentTupleSource) Err() error { return s.err }
+
+// Close closes the underlying column file.
+func (s *SegmentTupleSource) Close() error { return s.f.Close() }
+
+// Draw reads one uniformly random tuple from the table: a timed 8-byte
+// pread at the row's offset, observed on the device at the row's block,
+// then a binary search over the manifest layout to reveal the group.
+func (s *SegmentTupleSource) Draw(r *xrand.RNG) (int, float64) {
+	row := r.Int64n(s.info.Rows)
+	if s.err != nil {
+		return 0, 0
+	}
+	var buf [8]byte
+	off := dataset.SegmentDataOffset + 8*row
+	start := time.Now()
+	if _, err := s.f.ReadAt(buf[:], off); err != nil {
+		s.err = fmt.Errorf("needletail: segment tuple source: read row %d: %w", row, err)
+		return 0, 0
+	}
+	elapsed := time.Since(start).Seconds()
+	if s.dev != nil {
+		s.dev.ObserveBlockRead(off/int64(s.dev.Model().BlockSize), elapsed)
+		s.dev.ChargeSampleCPU(1)
+	}
+	// Group of row: the last group whose start is <= row.
+	gi := sort.Search(len(s.starts)-1, func(i int) bool { return s.starts[i+1] > row })
+	return gi, math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+}

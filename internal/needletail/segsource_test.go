@@ -1,0 +1,138 @@
+package needletail
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/needletail/disksim"
+	"repro/internal/xrand"
+)
+
+// buildSegDir writes a small segment table and returns its directory plus
+// the per-group value sets (for membership checks) and true means.
+func buildSegDir(t *testing.T) (string, []map[float64]bool, []float64) {
+	t.Helper()
+	b := dataset.NewTableBuilder()
+	rng := xrand.New(101)
+	names := []string{"AA", "UA", "DL", "WN"}
+	vals := make([]map[float64]bool, len(names))
+	means := make([]float64, len(names))
+	for gi, name := range names {
+		vals[gi] = map[float64]bool{}
+		n := 200 + 150*gi
+		sum := 0.0
+		for i := 0; i < n; i++ {
+			v := float64(10*gi) + 40*rng.Float64()
+			b.Add(name, v)
+			vals[gi][v] = true
+			sum += v
+		}
+		means[gi] = sum / float64(n)
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := tbl.WriteSegments(dir); err != nil {
+		t.Fatal(err)
+	}
+	return dir, vals, means
+}
+
+// TestSegmentTupleSourceDraws: every drawn tuple carries a value that
+// really belongs to the revealed group, draws are deterministic for a
+// seed, and the device observes one measured read per uncached block.
+func TestSegmentTupleSourceDraws(t *testing.T) {
+	dir, vals, _ := buildSegDir(t)
+	dev := disksim.MustNew(disksim.DefaultCostModel())
+	src, err := OpenSegmentTupleSource(dir, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	if src.K() != 4 {
+		t.Fatalf("K = %d, want 4", src.K())
+	}
+
+	const draws = 2000
+	rng := xrand.New(7)
+	counts := make([]int64, src.K())
+	seq := make([]float64, 0, draws)
+	for i := 0; i < draws; i++ {
+		gi, v := src.Draw(rng)
+		if gi < 0 || gi >= src.K() {
+			t.Fatalf("draw %d: group %d out of range", i, gi)
+		}
+		if !vals[gi][v] {
+			t.Fatalf("draw %d: value %v is not a member of group %d (%s)", i, v, gi, src.GroupNames()[gi])
+		}
+		counts[gi]++
+		seq = append(seq, v)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for gi, c := range counts {
+		if c == 0 {
+			t.Fatalf("group %d never drawn in %d tuples", gi, draws)
+		}
+	}
+
+	st := dev.Stats()
+	if st.MeasuredReads == 0 {
+		t.Fatal("no measured reads observed")
+	}
+	if st.MeasuredReads != st.RandBlockMisses {
+		t.Fatalf("measured reads %d != block misses %d", st.MeasuredReads, st.RandBlockMisses)
+	}
+	if st.RandBlockMisses+st.RandBlockHits != draws {
+		t.Fatalf("block accesses %d, want %d", st.RandBlockMisses+st.RandBlockHits, draws)
+	}
+	if st.MeasuredIOSeconds < 0 {
+		t.Fatalf("negative measured IO: %v", st.MeasuredIOSeconds)
+	}
+
+	// Same seed, fresh source: identical tuple stream.
+	src2, err := OpenSegmentTupleSource(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src2.Close()
+	rng2 := xrand.New(7)
+	for i := 0; i < draws; i++ {
+		_, v := src2.Draw(rng2)
+		if v != seq[i] {
+			t.Fatalf("draw %d diverged on reopen: %v != %v", i, v, seq[i])
+		}
+	}
+}
+
+// TestNoIndexOverSegments runs the full NOINDEX algorithm against the
+// on-disk source: it must terminate with correctly ordered estimates, and
+// the device must have observed real I/O for the run.
+func TestNoIndexOverSegments(t *testing.T) {
+	dir, _, means := buildSegDir(t)
+	dev := disksim.MustNew(disksim.DefaultCostModel())
+	src, err := OpenSegmentTupleSource(dir, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	opts := core.DefaultOptions()
+	res, err := core.NoIndex(src, xrand.New(43), opts, 200_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !core.CorrectOrdering(res.Estimates, means) {
+		t.Fatalf("no-index over segments misordered: est %v, true %v", res.Estimates, means)
+	}
+	if dev.Stats().MeasuredReads == 0 {
+		t.Fatal("no measured I/O recorded for the run")
+	}
+}

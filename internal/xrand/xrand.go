@@ -79,10 +79,27 @@ func (r *RNG) Split() *RNG {
 // pushing base and idx through two splitmix64 finalization rounds before
 // seeding xoshiro256**.
 func NewStream(base, idx uint64) *RNG {
+	r := Stream(base, idx)
+	return &r
+}
+
+// Stream is NewStream by value: identical state for the same (base, idx),
+// but allocation-free, so a caller with k streams can lay them out in one
+// contiguous slice instead of k heap objects.
+func Stream(base, idx uint64) RNG {
 	sm := base
 	mixed := splitmix64(&sm)
 	sm = mixed ^ (idx+1)*0x9e3779b97f4a7c15
-	return New(splitmix64(&sm))
+	seed := splitmix64(&sm)
+	var r RNG
+	for i := range r.s {
+		r.s[i] = splitmix64(&seed)
+	}
+	// Same all-zero guard as New.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
 }
 
 // Float64 returns a uniformly distributed value in [0, 1).

@@ -85,6 +85,26 @@ func TableFromCSVFile(path string) (*Table, error) {
 	return dataset.ReadCSV(f)
 }
 
+// SegmentTable is a Table whose columns live in on-disk segment files,
+// memory-mapped rather than heap-allocated: rows are paged in by the OS
+// only as draws touch them, so tables far larger than RAM stay queryable
+// with a resident set proportional to the sampled working set. It embeds
+// *Table — every engine path (Run, Stream, Where filters, shared brokers)
+// works on it unchanged and produces bit-for-bit the results the
+// in-memory table would. Produce segment directories with
+// Table.WriteSegments, cmd/datagen -out, or vizsample -write-segments;
+// Close unmaps the columns (outstanding draws must be finished first).
+type SegmentTable = dataset.SegmentTable
+
+// OpenSegments opens a columnar segment directory written by
+// Table.WriteSegments (or the datagen/vizsample writers) as a queryable
+// table. Opening is lazy: only the manifest is read and validated — no
+// column data is faulted in — so open cost is independent of table size.
+// Use SegmentTable.VerifyChecksums to force a full integrity pass.
+func OpenSegments(dir string) (*SegmentTable, error) {
+	return dataset.OpenSegments(dir)
+}
+
 // TableFromCSVWorkers is TableFromCSV with an explicit parallelism bound.
 // Sharded parsing (workers > 1, or 0 for all CPUs) buffers the whole
 // input in memory to split it at record boundaries; workers == 1 streams
