@@ -36,14 +36,16 @@ import (
 
 func main() {
 	var (
-		kind  = flag.String("kind", "mixture", "truncnorm | mixture | bernoulli | hard | flights")
-		k     = flag.Int("k", 10, "number of groups (synthetic kinds)")
-		rows  = flag.Int64("rows", 1_000_000, "total rows")
-		gamma = flag.Float64("gamma", 0.5, "mean spacing for -kind hard")
-		std   = flag.Float64("std", 0, "fixed std for -kind truncnorm (0 = random)")
-		attr  = flag.String("attr", "arrdelay", "flights attribute: elapsed | arrdelay | depdelay")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		out   = flag.String("out", "", "write columnar segments to this directory instead of CSV to stdout (synthetic kinds only)")
+		kind     = flag.String("kind", "mixture", "truncnorm | mixture | bernoulli | hard | flights")
+		k        = flag.Int("k", 10, "number of groups (synthetic kinds)")
+		rows     = flag.Int64("rows", 1_000_000, "total rows")
+		gamma    = flag.Float64("gamma", 0.5, "mean spacing for -kind hard")
+		std      = flag.Float64("std", 0, "fixed std for -kind truncnorm (0 = random)")
+		attr     = flag.String("attr", "arrdelay", "flights attribute: elapsed | arrdelay | depdelay")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		out      = flag.String("out", "", "write columnar segments to this directory instead of CSV to stdout (synthetic kinds only)")
+		compress = flag.Bool("compress", false, "with -out: write block-compressed (v2) segments with zone maps")
+		blockLen = flag.Int("block-len", 0, "with -compress: values per block (default 64Ki)")
 	)
 	flag.Parse()
 	w := bufio.NewWriter(os.Stdout)
@@ -105,7 +107,8 @@ func main() {
 		// Stream rows straight into the segment writer: groups are
 		// generated contiguously, so each maps to exactly one StartGroup
 		// and the resident set never grows with -rows.
-		sw, err := dataset.CreateSegments(*out, "value", "aux")
+		opts := dataset.SegmentOptions{Compress: *compress, BlockLen: *blockLen}
+		sw, err := dataset.CreateSegmentsOptions(*out, opts, "value", "aux")
 		if err != nil {
 			fatal(err)
 		}

@@ -9,7 +9,13 @@
 //	rapidvizd -csv data.csv [-addr :8080]
 //	rapidvizd -demo [-rows 200000] [-seed 1]
 //	rapidvizd -segments dir      # serve an on-disk columnar segment
-//	                             # table (mmap-backed; larger than RAM)
+//	                             # table (mmap-backed; larger than RAM).
+//	                             # Raw (v1) and block-compressed (v2,
+//	                             # written with -compress by datagen or
+//	                             # vizsample) directories both serve
+//	                             # identically — queries over compressed
+//	                             # columns decode through a bounded block
+//	                             # cache and return bit-identical results.
 //
 // Serving knobs:
 //

@@ -82,6 +82,8 @@ func main() {
 		where      = flag.String("where", "", `predicate filter, e.g. "elapsed>=150,value<600" or "group in AA|DL" (comma = AND)`)
 		segments   = flag.String("segments", "", "query an on-disk columnar segment directory (mmap-backed; instead of -csv/-demo)")
 		writeSegs  = flag.String("write-segments", "", "ingest (-csv or -demo), write the table as a segment directory, and exit")
+		compress   = flag.Bool("compress", false, "with -write-segments: write block-compressed (v2) segments with zone maps")
+		blockLen   = flag.Int("block-len", 0, "with -compress: values per block (default 64Ki)")
 	)
 	flag.Parse()
 
@@ -115,7 +117,8 @@ func main() {
 	}
 
 	if *writeSegs != "" {
-		if err := table.WriteSegments(*writeSegs); err != nil {
+		opts := rapidviz.SegmentOptions{Compress: *compress, BlockLen: *blockLen}
+		if err := table.WriteSegmentsOptions(*writeSegs, opts); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "vizsample: wrote %d groups to %s\n", len(table.Groups()), *writeSegs)

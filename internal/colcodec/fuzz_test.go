@@ -1,0 +1,119 @@
+package colcodec
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"testing"
+)
+
+// bytesToVals reinterprets fuzz bytes as a float64 block (at least one
+// value; at most a short block so the fuzzer iterates fast).
+func bytesToVals(data []byte) []float64 {
+	n := len(data) / 8
+	if n == 0 {
+		return nil
+	}
+	if n > 4096 {
+		n = 4096
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return vals
+}
+
+// FuzzRoundTrip: whatever bit patterns the fuzzer invents, EncodeBlock →
+// DecodeBlock must reproduce them exactly. This covers every codec — the
+// chooser routes integer-looking inputs to FOR/Delta, repetitive ones to
+// Dict, the rest to Raw.
+func FuzzRoundTrip(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		b := make([]byte, 8*len(vals))
+		for i, v := range vals {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(1, 2, 3, 4, 5))                             // FOR/Delta
+	f.Add(seed(0.0001, 0.0002, 0.0003))                    // scaled decimal
+	f.Add(seed(math.Pi, math.Pi, math.E, math.Pi, math.E)) // dict
+	f.Add(seed(math.NaN(), math.Inf(1), -0.0))             // non-finite
+	f.Add(seed(0.1234567890123, 7.5e300, -2.5e-300))       // raw
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals := bytesToVals(data)
+		if vals == nil {
+			t.Skip()
+		}
+		blk, codec := EncodeBlock(nil, vals)
+		got, gotCodec, n, err := DecodeBlock(nil, blk)
+		if err != nil {
+			t.Fatalf("decode of freshly encoded %s block failed: %v", codec.Name(), err)
+		}
+		if gotCodec != codec || n != len(blk) || len(got) != len(vals) {
+			t.Fatalf("decode shape mismatch: codec %s/%s, %d/%d bytes, %d/%d values",
+				gotCodec.Name(), codec.Name(), n, len(blk), len(got), len(vals))
+		}
+		for i := range vals {
+			if math.Float64bits(got[i]) != math.Float64bits(vals[i]) {
+				t.Fatalf("%s codec: value %d round-tripped %x -> %x", codec.Name(), i,
+					math.Float64bits(vals[i]), math.Float64bits(got[i]))
+			}
+		}
+	})
+}
+
+// FuzzDecode: arbitrary bytes must never panic the decoder — they either
+// decode (if they happen to be a valid block) or return an error.
+func FuzzDecode(f *testing.F) {
+	blk, _ := EncodeBlock(nil, []float64{1, 2, 3, 700})
+	f.Add(blk)
+	blk2, _ := EncodeBlock(nil, []float64{math.Pi, math.E, math.Pi, math.E, math.Pi, math.E, math.Pi, math.E})
+	f.Add(blk2)
+	blk3, _ := EncodeBlock(nil, []float64{0.5, 0.25, 0.125})
+	f.Add(blk3)
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dst, _, n, err := DecodeBlock(nil, data)
+		if err == nil {
+			if n < HeaderSize || n > len(data) {
+				t.Fatalf("successful decode reports %d consumed bytes of %d", n, len(data))
+			}
+			if len(dst) == 0 {
+				t.Fatal("successful decode produced no values")
+			}
+		}
+	})
+}
+
+// FuzzDecodeResealed: corrupt the payload but fix up the checksum, so the
+// structural validators (not the CRC) are what the fuzzer attacks.
+func FuzzDecodeResealed(f *testing.F) {
+	for _, vals := range [][]float64{
+		{1, 2, 3, 700, 5, 6},
+		{1000, 1001, 1002, 1003, 1004, 1005, 1006, 1007},
+		{math.Pi, math.E, math.Pi, math.E, math.Pi, math.E, math.Pi, math.E, math.Pi, math.E},
+		{0.123456789, 0.987654321},
+	} {
+		blk, _ := EncodeBlock(nil, vals)
+		f.Add(blk, uint8(0), uint16(0), uint8(0))
+	}
+	f.Fuzz(func(t *testing.T, blk []byte, codecByte uint8, pos uint16, xor uint8) {
+		if len(blk) <= HeaderSize {
+			t.Skip()
+		}
+		b := append([]byte(nil), blk...)
+		b[0] = codecByte % uint8(numCodecs)
+		p := HeaderSize + int(pos)%(len(b)-HeaderSize)
+		b[p] ^= xor
+		payload := b[HeaderSize:]
+		if int(binary.LittleEndian.Uint32(b[8:12])) > len(payload) {
+			binary.LittleEndian.PutUint32(b[8:12], uint32(len(payload)))
+		}
+		plen := int(binary.LittleEndian.Uint32(b[8:12]))
+		binary.LittleEndian.PutUint32(b[12:16], crc32.Checksum(payload[:plen], castagnoli))
+		DecodeBlock(nil, b) // must not panic; errors are expected
+	})
+}

@@ -99,6 +99,11 @@ type SliceGroup struct {
 	// order. The value stream is unchanged — rows are chosen by the exact
 	// same Fisher–Yates / Intn sequence and folded in draw order.
 	seg bool
+	// win replaces values for compressed (v2) segments: reads go through a
+	// block-decoding cursor instead of a flat slice. win-backed groups are
+	// always seg, and batch draws route through the same staged/gathered
+	// path so each batch decodes every touched block once.
+	win *blockWindow
 	// sparse switches the without-replacement permutation to the sparse
 	// map form: disp records only the displaced entries (perm[i] != i),
 	// identity elsewhere. Same arrangement and RNG discipline as the dense
@@ -155,11 +160,36 @@ func newSegmentSliceGroup(name string, values []float64, mean, maxv float64) *Sl
 	}
 }
 
+// newBlockSliceGroup returns a group over a compressed column window
+// (manifest-recorded statistics, like newSegmentSliceGroup). Every read
+// decodes through the table's shared block cache.
+func newBlockSliceGroup(name string, win *blockWindow, mean, maxv float64) *SliceGroup {
+	if win.n == 0 {
+		panic(fmt.Sprintf("dataset: group %q has no values", name))
+	}
+	return &SliceGroup{
+		name:   name,
+		win:    win,
+		mean:   mean,
+		maxv:   maxv,
+		seg:    true,
+		sparse: win.n > sparsePermGate,
+	}
+}
+
+// n returns the group's row count regardless of backing (slice or window).
+func (g *SliceGroup) n() int {
+	if g.win != nil {
+		return g.win.n
+	}
+	return len(g.values)
+}
+
 // Name returns the group's name.
 func (g *SliceGroup) Name() string { return g.name }
 
 // Size returns the number of values.
-func (g *SliceGroup) Size() int64 { return int64(len(g.values)) }
+func (g *SliceGroup) Size() int64 { return int64(g.n()) }
 
 // TrueMean returns the exact mean of the values.
 func (g *SliceGroup) TrueMean() float64 { return g.mean }
@@ -170,12 +200,17 @@ func (g *SliceGroup) MaxValue() float64 { return g.maxv }
 
 // Draw samples uniformly with replacement.
 func (g *SliceGroup) Draw(r *xrand.RNG) float64 {
+	if g.win != nil {
+		return g.win.at(r.Intn(g.win.n))
+	}
 	return g.values[r.Intn(len(g.values))]
 }
 
 // DrawBatch fills dst with uniform with-replacement samples in one call.
+// Window-backed groups always stage (even single draws) so reads hit the
+// block cursor in sorted order.
 func (g *SliceGroup) DrawBatch(r *xrand.RNG, dst []float64) {
-	if g.seg && len(dst) > 1 {
+	if g.seg && (len(dst) > 1 || g.win != nil) {
 		g.stageBatchWR(r, len(dst))
 		g.gatherRows(g.rowBuf, dst)
 		return
@@ -194,7 +229,7 @@ func (g *SliceGroup) stageBatchWR(r *xrand.RNG, count int) {
 		g.rowBuf = make([]int32, count)
 	}
 	rows := g.rowBuf[:count]
-	n := len(g.values)
+	n := g.n()
 	for i := range rows {
 		rows[i] = int32(r.Intn(n))
 	}
@@ -217,6 +252,10 @@ func (g *SliceGroup) valScratch(n int) []float64 {
 // random page walk into a short sorted sweep — the round touches O(batch)
 // pages, clustered, and sequential enough for OS readahead to help.
 func (g *SliceGroup) gatherRows(rows []int32, dst []float64) {
+	if g.win != nil {
+		g.win.gatherSorted(rows, dst, &g.keyBuf)
+		return
+	}
 	if len(rows) <= 1 {
 		for i, row := range rows {
 			dst[i] = g.values[row]
@@ -241,10 +280,14 @@ func (g *SliceGroup) gatherRows(rows []int32, dst []float64) {
 // DrawWithoutReplacement returns the next element of a uniform random
 // permutation, building the permutation lazily.
 func (g *SliceGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
-	if g.next >= len(g.values) {
+	if g.next >= g.n() {
 		return 0, false
 	}
-	return g.values[g.permStep(r)], true
+	row := g.permStep(r)
+	if g.win != nil {
+		return g.win.at(int(row)), true
+	}
+	return g.values[row], true
 }
 
 // permStep performs one inside-out Fisher–Yates step — choose the next
@@ -254,7 +297,7 @@ func (g *SliceGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
 // way.
 func (g *SliceGroup) permStep(r *xrand.RNG) int32 {
 	next := g.next
-	j := next + r.Intn(len(g.values)-next)
+	j := next + r.Intn(g.n()-next)
 	g.next++
 	if g.sparse {
 		pn := g.permAt(int32(next))
@@ -291,11 +334,11 @@ func (g *SliceGroup) permAt(i int32) int32 {
 // DrawBatchWithoutReplacement consumes up to len(dst) further permutation
 // elements in one tight Fisher–Yates loop, returning how many it produced.
 func (g *SliceGroup) DrawBatchWithoutReplacement(r *xrand.RNG, dst []float64) int {
-	n := len(g.values)
+	n := g.n()
 	if g.next >= n {
 		return 0
 	}
-	if g.seg && len(dst) > 1 {
+	if g.seg && (len(dst) > 1 || g.win != nil) {
 		taken := g.stageBatchWOR(r, len(dst))
 		g.gatherRows(g.rowBuf[:taken], dst[:taken])
 		return taken
@@ -321,7 +364,7 @@ func (g *SliceGroup) stageBatchWOR(r *xrand.RNG, count int) int {
 		g.rowBuf = make([]int32, count)
 	}
 	rows := g.rowBuf[:count]
-	n := len(g.values)
+	n := g.n()
 	taken := 0
 	for taken < count && g.next < n {
 		rows[taken] = g.permStep(r)
@@ -335,7 +378,7 @@ func (g *SliceGroup) stageBatchWOR(r *xrand.RNG, count int) int {
 // suffix consumption shuffles in place.
 func (g *SliceGroup) ensurePerm() {
 	if g.perm == nil {
-		g.perm = make([]int32, len(g.values))
+		g.perm = make([]int32, g.n())
 		for i := range g.perm {
 			g.perm[i] = int32(i)
 		}
@@ -360,10 +403,18 @@ func (g *SliceGroup) resetView() {
 	g.rowBuf = nil
 	g.keyBuf = nil
 	g.valBuf = nil
+	if g.win != nil {
+		// The block cursor memoizes draw position; views need their own.
+		g.win = g.win.clone()
+	}
 }
 
 // Scan visits every value.
 func (g *SliceGroup) Scan(fn func(v float64)) int64 {
+	if g.win != nil {
+		g.win.scan(fn)
+		return int64(g.win.n)
+	}
 	for _, v := range g.values {
 		fn(v)
 	}
@@ -371,7 +422,9 @@ func (g *SliceGroup) Scan(fn func(v float64)) int64 {
 }
 
 // Values exposes the backing slice for storage engines that materialize the
-// group into a table. Callers must not mutate the returned slice.
+// group into a table. Callers must not mutate the returned slice. Groups
+// over compressed segments have no backing slice and return nil — use Scan
+// (or Table.Column, which materializes) instead.
 func (g *SliceGroup) Values() []float64 { return g.values }
 
 // DistGroup is a virtual group: a distribution plus a nominal size.

@@ -111,11 +111,11 @@ func (s *Sampler) DrawBlockSum(i, n int) (sum float64, ok bool) {
 // moments fold: identical Fisher–Yates steps over the permutation suffix,
 // no destination buffer.
 func (g *SliceGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) (float64, int) {
-	total := len(g.values)
+	total := g.n()
 	if g.next >= total {
 		return 0, 0
 	}
-	if g.seg && n > 1 {
+	if g.seg && (n > 1 || g.win != nil) {
 		// Segment-backed: stage the block's rows first, gather the mmapped
 		// column in ascending row order, then fold sum and moments in draw
 		// order — the same value sequence, with the page faults clustered.
@@ -152,7 +152,7 @@ func (g *SliceGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) (fl
 // drawBlockSumWR is DrawBatch fused with the sum and moments fold,
 // continuing the caller's running accumulator.
 func (g *SliceGroup) drawBlockSumWR(r *xrand.RNG, n int, sum float64, mom *conc.Moments) float64 {
-	if g.seg && n > 1 {
+	if g.seg && (n > 1 || g.win != nil) {
 		g.stageBatchWR(r, n)
 		buf := g.valScratch(n)
 		g.gatherRows(g.rowBuf, buf)
@@ -200,6 +200,9 @@ func (g *FilteredGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) 
 		if err := g.sel.bits.SelectBatch(rows); err != nil {
 			panic(err) // permutation ranks < count by construction
 		}
+		if g.win != nil {
+			return g.foldRows(rows, 0, mom), taken
+		}
 		sum := 0.0
 		for _, row := range rows {
 			v := g.col[row]
@@ -209,6 +212,20 @@ func (g *FilteredGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) 
 			}
 		}
 		return sum, taken
+	}
+	if g.win != nil {
+		// Window-backed: stage the drawn rows, gather block-sorted, fold in
+		// draw order — the same value sequence with one decode per block.
+		rows := g.rowScratch(n)
+		taken := 0
+		for taken < n && g.next < total {
+			j := g.next + r.Intn(total-g.next)
+			g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
+			rows[taken] = g.sel.idx[g.perm[g.next]]
+			g.next++
+			taken++
+		}
+		return g.foldRows(rows[:taken], 0, mom), taken
 	}
 	perm, col, idx := g.perm, g.col, g.sel.idx
 	sum := 0.0
@@ -227,11 +244,32 @@ func (g *FilteredGroup) drawBlockSumWOR(r *xrand.RNG, n int, mom *conc.Moments) 
 	return sum, taken
 }
 
+// foldRows gathers the local rows' values (block-sorted on a window) and
+// folds sum and moments in draw order, continuing the caller's accumulator.
+func (g *FilteredGroup) foldRows(rows []int32, sum float64, mom *conc.Moments) float64 {
+	vals := g.valScratch(len(rows))
+	g.gather(rows, vals)
+	for _, v := range vals {
+		sum += v
+		if mom != nil {
+			mom.Add(v)
+		}
+	}
+	return sum
+}
+
 // drawBlockSumWR mirrors FilteredGroup.DrawBatch, fused with the sum and
 // moments fold, continuing the caller's running accumulator.
 func (g *FilteredGroup) drawBlockSumWR(r *xrand.RNG, n int, sum float64, mom *conc.Moments) float64 {
 	cnt := g.sel.count
 	if g.sel.bits == nil {
+		if g.win != nil {
+			rows := g.rowScratch(n)
+			for i := range rows {
+				rows[i] = g.sel.idx[r.Intn(cnt)]
+			}
+			return g.foldRows(rows, sum, mom)
+		}
 		col, idx := g.col, g.sel.idx
 		for k := 0; k < n; k++ {
 			v := col[idx[r.Intn(cnt)]]
@@ -248,6 +286,9 @@ func (g *FilteredGroup) drawBlockSumWR(r *xrand.RNG, n int, sum float64, mom *co
 	}
 	if err := g.sel.bits.SelectBatch(rows); err != nil {
 		panic(err) // ranks < count by construction
+	}
+	if g.win != nil {
+		return g.foldRows(rows, sum, mom)
 	}
 	for _, row := range rows {
 		v := g.col[row]

@@ -26,6 +26,17 @@
 // manifest; OpenSegments validates structure eagerly but reads no data
 // pages, and VerifyChecksums performs the full (page-faulting) integrity
 // pass on demand.
+//
+// Format version 2 (SegmentOptions.Compress) keeps the directory shape and
+// the 64-byte column headers but stores each column as back-to-back
+// colcodec blocks of BlockLen values instead of raw float64s: the header's
+// data byte length becomes the encoded length, and the manifest gains the
+// per-column block index — each block's byte offset plus its min/max zone
+// map. Group statistics and the per-group CRCs are computed over the
+// *decoded* values, so VerifyChecksums proves the decode end to end and v1
+// and v2 manifests stay comparable. Reads decode whole blocks through a
+// bounded LRU (blockcol.go); draw streams are bit-for-bit identical to the
+// v1 and in-memory paths. See DESIGN.md §14.
 package dataset
 
 import (
@@ -37,6 +48,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/colcodec"
 	"repro/internal/mmapfile"
 )
 
@@ -44,6 +56,7 @@ const (
 	segColMagic     = "RVSEGCOL"
 	segTableMagic   = "RVSEGTBL"
 	segVersion      = 1
+	segVersion2     = 2
 	segEndianMarker = 0x01020304
 
 	// SegmentDataOffset is the byte offset of the float64 column data in
@@ -78,6 +91,26 @@ type segManifest struct {
 	MinValue   float64    `json:"min_value"`
 	MaxValue   float64    `json:"max_value"`
 	Groups     []segGroup `json:"groups"`
+
+	// v2 (compressed) only: values per block and the per-column block
+	// index, [0] = value column, [1+e] = extra e.
+	BlockLen int         `json:"block_len,omitempty"`
+	Columns  []segColumn `json:"columns,omitempty"`
+}
+
+// segColumn is one compressed column's block index.
+type segColumn struct {
+	Blocks []segBlock `json:"blocks"`
+}
+
+// segBlock locates one encoded block and carries its zone map. NZ marks
+// the zone unusable (the block holds non-finite values, which JSON cannot
+// encode and ordering predicates cannot prune on).
+type segBlock struct {
+	Off int64   `json:"off"`          // byte offset within the column's data region
+	Min float64 `json:"min"`          // zone map: least decoded value
+	Max float64 `json:"max"`          // zone map: greatest decoded value
+	NZ  bool    `json:"nz,omitempty"` // zone unusable
 }
 
 // segGroup records one group's layout and the statistics the in-memory
@@ -103,6 +136,8 @@ type SegmentInfo struct {
 	MaxValue   float64
 	GroupNames []string
 	GroupRows  []int64 // rows per group; group i starts at sum(GroupRows[:i])
+	Compressed bool    // v2 block-compressed columns (raw pread is invalid)
+	BlockLen   int     // values per block when Compressed
 }
 
 // ReadSegmentManifest reads and validates a segment directory's manifest
@@ -118,6 +153,8 @@ func ReadSegmentManifest(dir string) (*SegmentInfo, error) {
 		Rows:       man.Rows,
 		MinValue:   man.MinValue,
 		MaxValue:   man.MaxValue,
+		Compressed: man.Version >= segVersion2,
+		BlockLen:   man.BlockLen,
 	}
 	for _, g := range man.Groups {
 		info.GroupNames = append(info.GroupNames, g.Name)
@@ -136,10 +173,17 @@ type SegmentWriter struct {
 	dir        string
 	valueName  string
 	extraNames []string
+	opts       SegmentOptions
 
 	files []*os.File // [0] = value column, [1+e] = extra e
 	bufs  []*bufWriter
 	man   segManifest
+
+	// Compressed mode: per-column block staging. encs[c].vals buffers up
+	// to BlockLen values; a full buffer is encoded, appended to the column
+	// file, and indexed in the manifest with its zone map.
+	encs   []colEncoder
+	encBuf []byte
 
 	cur     *segGroup
 	curSum  float64
@@ -147,6 +191,23 @@ type SegmentWriter struct {
 	scratch [8]byte
 	closed  bool
 	err     error // sticky: first failure poisons the writer
+}
+
+// colEncoder is one compressed column's write-side state.
+type colEncoder struct {
+	vals []float64 // staged values of the current block
+	off  int64     // encoded bytes written so far
+}
+
+// SegmentOptions selects the on-disk segment format.
+type SegmentOptions struct {
+	// Compress writes format version 2: per-column block compression
+	// (colcodec) with zone maps in the manifest. Zero value writes the raw
+	// v1 format.
+	Compress bool
+	// BlockLen is the values-per-block for compressed columns;
+	// DefaultBlockLen when 0.
+	BlockLen int
 }
 
 // bufWriter is a minimal buffered writer (we avoid bufio to keep the flush
@@ -158,6 +219,15 @@ type bufWriter struct {
 
 func (w *bufWriter) write8(p [8]byte) error {
 	w.buf = append(w.buf, p[:]...)
+	if len(w.buf) >= 1<<16 {
+		return w.flush()
+	}
+	return nil
+}
+
+// write appends an arbitrary byte run (encoded blocks).
+func (w *bufWriter) write(p []byte) error {
+	w.buf = append(w.buf, p...)
 	if len(w.buf) >= 1<<16 {
 		return w.flush()
 	}
@@ -178,8 +248,24 @@ func (w *bufWriter) flush() error {
 // StartGroup then Append for each of the group's rows, repeated per group,
 // then Close.
 func CreateSegments(dir, valueName string, extraNames ...string) (*SegmentWriter, error) {
+	return CreateSegmentsOptions(dir, SegmentOptions{}, valueName, extraNames...)
+}
+
+// CreateSegmentsOptions is CreateSegments with an explicit format choice
+// (compression, block length).
+func CreateSegmentsOptions(dir string, opts SegmentOptions, valueName string, extraNames ...string) (*SegmentWriter, error) {
 	if valueName == "" {
 		valueName = "value"
+	}
+	if opts.BlockLen == 0 {
+		opts.BlockLen = DefaultBlockLen
+	}
+	if opts.BlockLen < 1 || opts.BlockLen > colcodec.MaxBlockLen {
+		return nil, fmt.Errorf("dataset: segments: block length %d out of range (1..%d)", opts.BlockLen, colcodec.MaxBlockLen)
+	}
+	version := segVersion
+	if opts.Compress {
+		version = segVersion2
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("dataset: segments: %w", err)
@@ -188,13 +274,22 @@ func CreateSegments(dir, valueName string, extraNames ...string) (*SegmentWriter
 		dir:        dir,
 		valueName:  valueName,
 		extraNames: extraNames,
+		opts:       opts,
 		names:      map[string]struct{}{},
 		man: segManifest{
 			Magic:      segTableMagic,
-			Version:    segVersion,
+			Version:    version,
 			ValueName:  valueName,
 			ExtraNames: extraNames,
 		},
+	}
+	if opts.Compress {
+		w.man.BlockLen = opts.BlockLen
+		w.man.Columns = make([]segColumn, 1+len(extraNames))
+		w.encs = make([]colEncoder, 1+len(extraNames))
+		for c := range w.encs {
+			w.encs[c].vals = make([]float64, 0, opts.BlockLen)
+		}
 	}
 	paths := []string{SegmentValuePath(dir)}
 	for e := range extraNames {
@@ -261,15 +356,18 @@ func (w *SegmentWriter) Append(value float64, extras ...float64) error {
 	if value < 0 {
 		return w.fail(fmt.Errorf("dataset: segments: negative value %v; shift values into [0, c]", value))
 	}
+	// Per-group CRCs are always over the decoded little-endian bytes —
+	// in compressed mode too, so VerifyChecksums proves the decode end to
+	// end and the manifests stay comparable across formats.
 	binary.LittleEndian.PutUint64(w.scratch[:], math.Float64bits(value))
 	w.cur.ValueCRC = crc32.Update(w.cur.ValueCRC, castagnoli, w.scratch[:])
-	if err := w.bufs[0].write8(w.scratch); err != nil {
+	if err := w.writeValue(0, value, w.scratch); err != nil {
 		return w.fail(err)
 	}
 	for e, v := range extras {
 		binary.LittleEndian.PutUint64(w.scratch[:], math.Float64bits(v))
 		w.cur.ExtraCRCs[e] = crc32.Update(w.cur.ExtraCRCs[e], castagnoli, w.scratch[:])
-		if err := w.bufs[1+e].write8(w.scratch); err != nil {
+		if err := w.writeValue(1+e, v, w.scratch); err != nil {
 			return w.fail(err)
 		}
 	}
@@ -289,6 +387,38 @@ func (w *SegmentWriter) Append(value float64, extras ...float64) error {
 	w.cur.Rows++
 	w.man.Rows++
 	return nil
+}
+
+// writeValue routes one column value to its sink: the raw byte stream in
+// v1, the block stager in v2.
+func (w *SegmentWriter) writeValue(c int, v float64, le [8]byte) error {
+	if !w.opts.Compress {
+		return w.bufs[c].write8(le)
+	}
+	enc := &w.encs[c]
+	enc.vals = append(enc.vals, v)
+	if len(enc.vals) == w.opts.BlockLen {
+		return w.flushBlock(c)
+	}
+	return nil
+}
+
+// flushBlock encodes column c's staged values as one block, appends it to
+// the column file, and records its offset and zone map in the manifest.
+func (w *SegmentWriter) flushBlock(c int) error {
+	enc := &w.encs[c]
+	if len(enc.vals) == 0 {
+		return nil
+	}
+	blk, _ := colcodec.EncodeBlock(w.encBuf[:0], enc.vals)
+	w.encBuf = blk
+	z := zoneOf(enc.vals)
+	w.man.Columns[c].Blocks = append(w.man.Columns[c].Blocks, segBlock{
+		Off: enc.off, Min: z.min, Max: z.max, NZ: !z.ok,
+	})
+	enc.off += int64(len(blk))
+	enc.vals = enc.vals[:0]
+	return w.bufs[c].write(blk)
 }
 
 // finishGroup seals the current group's statistics.
@@ -346,14 +476,27 @@ func (w *SegmentWriter) Close() error {
 		w.abort()
 		return fmt.Errorf("dataset: segments: table has no rows")
 	}
-	var header [SegmentDataOffset]byte
-	copy(header[0:8], segColMagic)
-	binary.LittleEndian.PutUint32(header[8:12], segVersion)
-	binary.LittleEndian.PutUint32(header[12:16], segEndianMarker)
-	binary.LittleEndian.PutUint64(header[16:24], uint64(w.man.Rows))
-	binary.LittleEndian.PutUint64(header[24:32], uint64(w.man.Rows)*8)
-	binary.LittleEndian.PutUint32(header[32:36], crc32.Checksum(header[:32], castagnoli))
+	if w.opts.Compress {
+		// Seal the trailing partial block of every column.
+		for c := range w.encs {
+			if err := w.flushBlock(c); err != nil {
+				w.abort()
+				return fmt.Errorf("dataset: segments: %w", err)
+			}
+		}
+	}
 	for c, f := range w.files {
+		var header [SegmentDataOffset]byte
+		copy(header[0:8], segColMagic)
+		binary.LittleEndian.PutUint32(header[8:12], uint32(w.man.Version))
+		binary.LittleEndian.PutUint32(header[12:16], segEndianMarker)
+		binary.LittleEndian.PutUint64(header[16:24], uint64(w.man.Rows))
+		dataLen := uint64(w.man.Rows) * 8
+		if w.opts.Compress {
+			dataLen = uint64(w.encs[c].off)
+		}
+		binary.LittleEndian.PutUint64(header[24:32], dataLen)
+		binary.LittleEndian.PutUint32(header[32:36], crc32.Checksum(header[:32], castagnoli))
 		if err := w.bufs[c].flush(); err != nil {
 			w.abort()
 			return fmt.Errorf("dataset: segments: %w", err)
@@ -384,27 +527,57 @@ func (w *SegmentWriter) Close() error {
 	return nil
 }
 
-// WriteSegments persists the table into dir as a columnar segment
+// WriteSegments persists the table into dir as a raw (v1) columnar segment
 // directory that OpenSegments can serve across process restarts.
 func (t *Table) WriteSegments(dir string) error {
-	w, err := CreateSegments(dir, t.valueName, t.extraNames...)
+	return t.WriteSegmentsOptions(dir, SegmentOptions{})
+}
+
+// WriteSegmentsOptions is WriteSegments with an explicit format choice —
+// SegmentOptions{Compress: true} writes v2 block-compressed columns. The
+// source table may itself be compressed (a recompression pass); its blocks
+// are decoded streaming, never fully materialized.
+func (t *Table) WriteSegmentsOptions(dir string, opts SegmentOptions) error {
+	w, err := CreateSegmentsOptions(dir, opts, t.valueName, t.extraNames...)
 	if err != nil {
 		return err
 	}
 	scratch := make([]float64, len(t.extraNames))
+	var wins []*blockWindow
+	if t.bcols != nil {
+		wins = make([]*blockWindow, len(t.bcols))
+		for c, bc := range t.bcols {
+			wins[c] = newBlockWindow(bc, 0, int(bc.rows))
+		}
+	}
 	for gi, name := range t.names {
 		if err := w.StartGroup(name); err != nil {
 			w.abort()
 			return err
 		}
 		for row := t.offsets[gi]; row < t.offsets[gi+1]; row++ {
-			for e := range scratch {
-				scratch[e] = t.extras[e][row]
+			var v float64
+			if wins != nil {
+				v = wins[0].at(row)
+				for e := range scratch {
+					scratch[e] = wins[1+e].at(row)
+				}
+			} else {
+				v = t.col[row]
+				for e := range scratch {
+					scratch[e] = t.extras[e][row]
+				}
 			}
-			if err := w.Append(t.col[row], scratch...); err != nil {
+			if err := w.Append(v, scratch...); err != nil {
 				w.abort()
 				return err
 			}
+		}
+	}
+	if t.bcols != nil {
+		if err := t.bcols[0].cache.Err(); err != nil {
+			w.abort()
+			return err
 		}
 	}
 	return w.Close()
@@ -421,14 +594,29 @@ func (t *Table) WriteSegments(dir string) error {
 // all queries first.
 type SegmentTable struct {
 	*Table
-	dir  string
-	maps []*mmapfile.Mapping
-	man  *segManifest
-	data [][]byte // raw column data regions, [0] = value, [1+e] = extra e
+	dir   string
+	maps  []*mmapfile.Mapping
+	man   *segManifest
+	data  [][]byte    // raw column data regions, [0] = value, [1+e] = extra e
+	cache *blockCache // decoded-block LRU (compressed tables only)
 }
 
 // Dir returns the segment directory the table was opened from.
 func (st *SegmentTable) Dir() string { return st.dir }
+
+// Compressed reports whether the table serves v2 block-compressed columns.
+func (st *SegmentTable) Compressed() bool { return st.cache != nil }
+
+// Err returns the first block-decode failure encountered while serving
+// reads, if any. Draw paths have no error channel, so corruption discovered
+// mid-draw degrades those rows to zeros and surfaces here; check after
+// queries on untrusted segments, or run VerifyChecksums up front.
+func (st *SegmentTable) Err() error {
+	if st.cache == nil {
+		return nil
+	}
+	return st.cache.Err()
+}
 
 // Mapped reports whether the columns are OS memory mappings (false means
 // the nommap read-at fallback copied them to the heap at open).
@@ -483,8 +671,14 @@ func (st *SegmentTable) AdviseRandom() error {
 
 // VerifyChecksums recomputes every per-group, per-column CRC-32C and
 // compares it against the manifest. This is the full-integrity pass — it
-// touches every data page (and therefore also warms the page cache).
+// touches every data page (and therefore also warms the page cache). On
+// compressed tables it decodes every block (bypassing the cache) and also
+// proves each manifest zone map consistent with the decoded values, so a
+// clean pass means draws, filters, and zone pruning all see sound data.
 func (st *SegmentTable) VerifyChecksums() error {
+	if st.cache != nil {
+		return st.verifyCompressed()
+	}
 	for _, g := range st.man.Groups {
 		lo, hi := g.Offset*8, (g.Offset+g.Rows)*8
 		if got := crc32.Checksum(st.data[0][lo:hi], castagnoli); got != g.ValueCRC {
@@ -505,6 +699,61 @@ func (st *SegmentTable) VerifyChecksums() error {
 	return nil
 }
 
+// verifyCompressed is VerifyChecksums for v2 tables: per column, decode
+// every block directly, compare its recomputed zone against the manifest's,
+// and fold the decoded values (as little-endian bytes) into per-group
+// CRC-32C sums checked against the manifest — the same decoded-byte CRCs a
+// v1 segment of this table would carry.
+func (st *SegmentTable) verifyCompressed() error {
+	colName := func(c int) string {
+		if c == 0 {
+			return st.man.ValueName
+		}
+		return st.man.ExtraNames[c-1]
+	}
+	var le [8]byte
+	var scratch []float64
+	for c, bc := range st.Table.bcols {
+		gi := 0
+		rowsLeft := st.man.Groups[0].Rows
+		crc := uint32(0)
+		for b := 0; b < bc.nblocks(); b++ {
+			vals, _, err := bc.decode(scratch[:0], b)
+			if err != nil {
+				return err
+			}
+			scratch = vals
+			if got, want := zoneOf(vals), bc.zones[b]; got != want {
+				return fmt.Errorf("dataset: segments: column %q block %d zone map mismatch (manifest [%v, %v] nz=%v, decoded [%v, %v] nz=%v)",
+					colName(c), b, want.min, want.max, !want.ok, got.min, got.max, !got.ok)
+			}
+			for _, v := range vals {
+				binary.LittleEndian.PutUint64(le[:], math.Float64bits(v))
+				crc = crc32.Update(crc, castagnoli, le[:])
+				if rowsLeft--; rowsLeft == 0 {
+					g := &st.man.Groups[gi]
+					want := g.ValueCRC
+					if c > 0 {
+						want = 0
+						if c-1 < len(g.ExtraCRCs) {
+							want = g.ExtraCRCs[c-1]
+						}
+					}
+					if crc != want {
+						return fmt.Errorf("dataset: segments: group %q column %q checksum mismatch (manifest %08x, decoded data %08x)",
+							g.Name, colName(c), want, crc)
+					}
+					crc = 0
+					if gi++; gi < len(st.man.Groups) {
+						rowsLeft = st.man.Groups[gi].Rows
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
 // readSegManifest loads and structurally validates manifest.json.
 func readSegManifest(dir string) (*segManifest, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, segManifestName))
@@ -518,8 +767,9 @@ func readSegManifest(dir string) (*segManifest, error) {
 	if man.Magic != segTableMagic {
 		return nil, fmt.Errorf("dataset: segments: %s: bad manifest magic %q (want %q)", dir, man.Magic, segTableMagic)
 	}
-	if man.Version != segVersion {
-		return nil, fmt.Errorf("dataset: segments: %s: unsupported format version %d (reader supports %d)", dir, man.Version, segVersion)
+	if man.Version != segVersion && man.Version != segVersion2 {
+		return nil, fmt.Errorf("dataset: segments: %s: unsupported format version %d (reader supports %d and %d)",
+			dir, man.Version, segVersion, segVersion2)
 	}
 	if man.Rows <= 0 {
 		return nil, fmt.Errorf("dataset: segments: %s: manifest declares %d rows", dir, man.Rows)
@@ -556,12 +806,54 @@ func readSegManifest(dir string) (*segManifest, error) {
 	if man.MinValue < 0 {
 		return nil, fmt.Errorf("dataset: segments: %s: manifest declares negative minimum value %v", dir, man.MinValue)
 	}
+	if man.Version >= segVersion2 {
+		if err := validateSegBlocks(man); err != nil {
+			return nil, fmt.Errorf("dataset: segments: %s: %w", dir, err)
+		}
+	} else if man.BlockLen != 0 || man.Columns != nil {
+		return nil, fmt.Errorf("dataset: segments: %s: v1 manifest carries compressed-column metadata", dir)
+	}
 	return man, nil
 }
 
+// validateSegBlocks structurally checks a v2 manifest's block index: block
+// length in range, one column entry per declared column, the right block
+// count for the row count, offsets starting at zero and strictly
+// increasing with at least a block header between consecutive offsets.
+func validateSegBlocks(man *segManifest) error {
+	if man.BlockLen < 1 || man.BlockLen > colcodec.MaxBlockLen {
+		return fmt.Errorf("manifest declares block length %d (want 1..%d)", man.BlockLen, colcodec.MaxBlockLen)
+	}
+	if want := 1 + len(man.ExtraNames); len(man.Columns) != want {
+		return fmt.Errorf("manifest declares %d column block indexes for %d columns", len(man.Columns), want)
+	}
+	wantBlocks := int((man.Rows + int64(man.BlockLen) - 1) / int64(man.BlockLen))
+	for ci, col := range man.Columns {
+		if len(col.Blocks) != wantBlocks {
+			return fmt.Errorf("column %d declares %d blocks; %d rows at block length %d need %d",
+				ci, len(col.Blocks), man.Rows, man.BlockLen, wantBlocks)
+		}
+		for b, blk := range col.Blocks {
+			switch {
+			case b == 0 && blk.Off != 0:
+				return fmt.Errorf("column %d block 0 starts at offset %d, want 0", ci, blk.Off)
+			case b > 0 && blk.Off < col.Blocks[b-1].Off+colcodec.HeaderSize:
+				return fmt.Errorf("column %d block %d offset %d overlaps block %d at %d",
+					ci, b, blk.Off, b-1, col.Blocks[b-1].Off)
+			}
+			if !blk.NZ && blk.Min > blk.Max {
+				return fmt.Errorf("column %d block %d zone map is inverted (min %v > max %v)", ci, b, blk.Min, blk.Max)
+			}
+		}
+	}
+	return nil
+}
+
 // openSegColumn maps one .seg file and validates its header against the
-// manifest's row count, returning the data region (past the header).
-func openSegColumn(path string, wantRows int64) (*mmapfile.Mapping, []byte, error) {
+// manifest's version and row count, returning the data region (past the
+// header). In v1 the data length must be rows*8; in v2 it is the encoded
+// byte length, checked against the manifest's block index by the caller.
+func openSegColumn(path string, version int, wantRows int64) (*mmapfile.Mapping, []byte, error) {
 	m, err := mmapfile.Open(path)
 	if err != nil {
 		return nil, nil, fmt.Errorf("dataset: segments: %w", err)
@@ -580,8 +872,8 @@ func openSegColumn(path string, wantRows int64) (*mmapfile.Mapping, []byte, erro
 	if string(b[0:8]) != segColMagic {
 		return fail("bad magic %q (want %q)", b[0:8], segColMagic)
 	}
-	if v := binary.LittleEndian.Uint32(b[8:12]); v != segVersion {
-		return fail("unsupported format version %d (reader supports %d)", v, segVersion)
+	if v := binary.LittleEndian.Uint32(b[8:12]); v != uint32(version) {
+		return fail("unsupported format version %d (manifest declares %d)", v, version)
 	}
 	if mk := binary.LittleEndian.Uint32(b[12:16]); mk != segEndianMarker {
 		return fail("bad endianness marker %08x (want %08x): file was written byte-swapped", mk, segEndianMarker)
@@ -594,7 +886,7 @@ func openSegColumn(path string, wantRows int64) (*mmapfile.Mapping, []byte, erro
 		return fail("header declares %d rows, manifest declares %d", rows, wantRows)
 	}
 	dataLen := binary.LittleEndian.Uint64(b[24:32])
-	if dataLen != rows*8 {
+	if version == segVersion && dataLen != rows*8 {
 		return fail("header declares %d data bytes for %d rows (want %d)", dataLen, rows, rows*8)
 	}
 	if got := uint64(len(b) - SegmentDataOffset); got != dataLen {
@@ -623,30 +915,21 @@ func OpenSegments(dir string) (*SegmentTable, error) {
 	for e := range man.ExtraNames {
 		paths = append(paths, segExtraPath(dir, e))
 	}
-	cols := make([][]float64, 0, len(paths))
 	for _, path := range paths {
-		m, data, err := openSegColumn(path, man.Rows)
+		m, data, err := openSegColumn(path, man.Version, man.Rows)
 		if err != nil {
 			st.Close()
 			return nil, err
 		}
 		st.maps = append(st.maps, m)
 		st.data = append(st.data, data)
-		col, err := mmapfile.Float64s(data)
-		if err != nil {
-			st.Close()
-			return nil, fmt.Errorf("dataset: segments: %s: %w", path, err)
-		}
-		cols = append(cols, col)
 	}
 
 	t := &Table{
-		col:        cols[0],
 		minV:       man.MinValue,
 		maxV:       man.MaxValue,
 		valueName:  man.ValueName,
 		extraNames: man.ExtraNames,
-		extras:     cols[1:],
 	}
 	t.offsets = make([]int, len(man.Groups)+1)
 	for gi, g := range man.Groups {
@@ -654,6 +937,54 @@ func OpenSegments(dir string) (*SegmentTable, error) {
 		t.offsets[gi+1] = t.offsets[gi] + int(g.Rows)
 	}
 	t.groups = make([]Group, len(man.Groups))
+
+	if man.Version >= segVersion2 {
+		// v2: columns are encoded blocks served through a shared decoded-block
+		// LRU; groups draw through per-group block windows.
+		st.cache = newBlockCache(man.BlockLen)
+		t.bcols = make([]*blockColumn, len(st.data))
+		for c, data := range st.data {
+			blocks := man.Columns[c].Blocks
+			offs := make([]int64, len(blocks)+1)
+			zones := make([]blockZone, len(blocks))
+			for b, blk := range blocks {
+				offs[b] = blk.Off
+				zones[b] = blockZone{min: blk.Min, max: blk.Max, ok: !blk.NZ}
+			}
+			offs[len(blocks)] = int64(len(data))
+			if last := offs[len(blocks)-1]; last+colcodec.HeaderSize > int64(len(data)) {
+				st.Close()
+				return nil, fmt.Errorf("dataset: segments: %s: manifest places the last block at offset %d but the column holds %d data bytes (truncated?)",
+					paths[c], last, len(data))
+			}
+			t.bcols[c] = &blockColumn{
+				raw: data, offs: offs, zones: zones,
+				rows: man.Rows, blockLen: man.BlockLen, colID: c, cache: st.cache,
+			}
+		}
+		for gi, g := range man.Groups {
+			win := newBlockWindow(t.bcols[0], g.Offset, int(g.Rows))
+			t.groups[gi] = &TableGroup{
+				SliceGroup: *newBlockSliceGroup(g.Name, win, g.Mean, g.Max),
+				table:      t,
+				index:      gi,
+			}
+		}
+		st.Table = t
+		return st, nil
+	}
+
+	cols := make([][]float64, 0, len(st.data))
+	for c, data := range st.data {
+		col, err := mmapfile.Float64s(data)
+		if err != nil {
+			st.Close()
+			return nil, fmt.Errorf("dataset: segments: %s: %w", paths[c], err)
+		}
+		cols = append(cols, col)
+	}
+	t.col = cols[0]
+	t.extras = cols[1:]
 	for gi, g := range man.Groups {
 		t.groups[gi] = &TableGroup{
 			SliceGroup: *newSegmentSliceGroup(g.Name, t.col[t.offsets[gi]:t.offsets[gi+1]], g.Mean, g.Max),

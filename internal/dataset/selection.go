@@ -99,6 +99,11 @@ func (v *View) View() []Group {
 			cp.perm = nil
 			cp.next = 0
 			cp.rows = nil
+			cp.keys = nil
+			cp.vals = nil
+			if cp.win != nil {
+				cp.win = cp.win.clone()
+			}
 			fresh[i] = &cp
 		case *TableGroup:
 			cp := *fg
@@ -153,19 +158,33 @@ func (t *Table) Filter(preds ...Predicate) (*View, error) {
 			v.addWhole(t, gi)
 			continue
 		}
-		sel, sum, max := t.filterGroup(gi, valuePreds)
+		var sel *selection
+		var sum, max float64
+		if t.bcols != nil {
+			sel, sum, max, err = t.filterGroupBlocks(gi, valuePreds)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			sel, sum, max = t.filterGroup(gi, valuePreds)
+		}
 		switch {
 		case sel.count == 0:
 			continue
 		case sel.count == hi-lo:
 			v.addWhole(t, gi)
 		default:
-			v.groups = append(v.groups, &FilteredGroup{
+			fg := &FilteredGroup{
 				name: t.names[gi],
-				col:  t.col[lo:hi],
 				sel:  sel,
 				mean: sum / float64(sel.count),
-			})
+			}
+			if t.bcols != nil {
+				fg.win = newBlockWindow(t.bcols[0], int64(lo), hi-lo)
+			} else {
+				fg.col = t.col[lo:hi]
+			}
+			v.groups = append(v.groups, fg)
 			v.rows += int64(sel.count)
 			if max > v.maxV {
 				v.maxV = max
@@ -221,8 +240,13 @@ func (t *Table) filterGroup(gi int, preds []resolvedPredicate) (*selection, floa
 			max = col[row]
 		}
 	}
+	return sealSelection(idx, hi-lo), sum, max
+}
+
+// sealSelection wraps sorted local survivor rows as a selection, converting
+// dense results to a bitmap.
+func sealSelection(idx []int32, n int) *selection {
 	sel := &selection{count: len(idx)}
-	n := hi - lo
 	if len(idx) > 0 && float64(len(idx)) >= selectionDenseMin*float64(n) {
 		bits := bitmap.New(n)
 		for _, r := range idx {
@@ -236,7 +260,89 @@ func (t *Table) filterGroup(gi int, preds []resolvedPredicate) (*selection, floa
 	} else {
 		sel.idx = idx
 	}
-	return sel, sum, max
+	return sel
+}
+
+// filterGroupBlocks is filterGroup for compressed tables, with zone-map
+// pushdown: each block's manifest [min,max] is tested against every
+// predicate first, so blocks no row of which can match are skipped without
+// decoding, and predicates every row of a block satisfies are dropped from
+// that block's per-row loop. Surviving rows accumulate in ascending order
+// and the sum/max fold visits them in that same order, so the selection,
+// mean, and bound are bit-for-bit what filterGroup would produce on the
+// decoded data. Decode errors (corrupt blocks) are returned, not degraded.
+func (t *Table) filterGroupBlocks(gi int, preds []resolvedPredicate) (*selection, float64, float64, error) {
+	lo, hi := t.offsets[gi], t.offsets[gi+1]
+	bl := t.bcols[0].blockLen
+	var idx []int32
+	sum, max := 0.0, 0.0
+	// live holds the predicates still undecided for the current block,
+	// liveCols their decoded column blocks.
+	live := make([]resolvedPredicate, 0, len(preds))
+	liveCols := make([][]float64, 0, len(preds))
+	for b := lo / bl; b*bl < hi; b++ {
+		rowLo, rowHi := b*bl, (b+1)*bl
+		if rowLo < lo {
+			rowLo = lo
+		}
+		if rowHi > hi {
+			rowHi = hi
+		}
+		live = live[:0]
+		skip := false
+		for _, p := range preds {
+			bc := t.bcols[0]
+			if p.col >= 0 {
+				bc = t.bcols[1+p.col]
+			}
+			switch bc.zones[b].relate(p.op, p.c) {
+			case zoneNone:
+				skip = true
+			case zoneAll:
+				// Provably true for every row of the block: drop it.
+			default:
+				live = append(live, p)
+			}
+			if skip {
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		vals := t.bcols[0].block(b)
+		liveCols = liveCols[:0]
+		for _, p := range live {
+			if p.col >= 0 {
+				liveCols = append(liveCols, t.bcols[1+p.col].block(b))
+			} else {
+				liveCols = append(liveCols, vals)
+			}
+		}
+		base := b * bl
+		for row := rowLo; row < rowHi; row++ {
+			ok := true
+			for pi, p := range live {
+				if !p.op.eval(liveCols[pi][row-base], p.c) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			v := vals[row-base]
+			idx = append(idx, int32(row-lo))
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if err := t.bcols[0].cache.Err(); err != nil {
+		return nil, 0, 0, err
+	}
+	return sealSelection(idx, hi-lo), sum, max, nil
 }
 
 // FilteredGroup is one group of a View: a zero-copy column segment plus a
@@ -249,6 +355,10 @@ func (t *Table) filterGroup(gi int, preds []resolvedPredicate) (*selection, floa
 type FilteredGroup struct {
 	name string
 	col  []float64 // the group's full column segment (local row indexing)
+	// win replaces col on compressed tables: reads decode through the
+	// table's block cache, and batch draws gather in ascending row order so
+	// each batch decodes every touched block once.
+	win  *blockWindow
 	sel  *selection
 	mean float64
 
@@ -256,8 +366,41 @@ type FilteredGroup struct {
 	next int
 	// rows is per-query scratch for staged block draws (ranks, then
 	// positions). Like perm it is draw state: never shared across the
-	// copies View() hands out.
+	// copies View() hands out — as are keys and vals, the window path's
+	// gather-key and value scratch.
 	rows []int32
+	keys []uint64
+	vals []float64
+}
+
+// val reads one selected row through whichever backing the group has.
+func (g *FilteredGroup) val(row int) float64 {
+	if g.win != nil {
+		return g.win.at(row)
+	}
+	return g.col[row]
+}
+
+// valScratch returns the group's reusable value buffer with length n.
+func (g *FilteredGroup) valScratch(n int) []float64 {
+	if cap(g.vals) < n {
+		g.vals = make([]float64, n)
+	}
+	g.vals = g.vals[:n]
+	return g.vals
+}
+
+// gather fills dst[i] from local row rows[i]: a direct loop on a plain
+// column, a block-sorted gather on a window (each touched block decoded
+// once per batch).
+func (g *FilteredGroup) gather(rows []int32, dst []float64) {
+	if g.win != nil {
+		g.win.gatherSorted(rows, dst, &g.keys)
+		return
+	}
+	for i, row := range rows {
+		dst[i] = g.col[row]
+	}
 }
 
 // Name returns the group's name.
@@ -273,7 +416,7 @@ func (g *FilteredGroup) TrueMean() float64 { return g.mean }
 // Draw samples a selected row uniformly with replacement: one rank draw,
 // one rank→row map, no rejection.
 func (g *FilteredGroup) Draw(r *xrand.RNG) float64 {
-	return g.col[g.sel.row(r.Intn(g.sel.count))]
+	return g.val(g.sel.row(r.Intn(g.sel.count)))
 }
 
 // DrawBatch fills dst with uniform with-replacement samples. The block is
@@ -286,6 +429,14 @@ func (g *FilteredGroup) Draw(r *xrand.RNG) float64 {
 func (g *FilteredGroup) DrawBatch(r *xrand.RNG, dst []float64) {
 	n := g.sel.count
 	if g.sel.bits == nil {
+		if g.win != nil {
+			rows := g.rowScratch(len(dst))
+			for i := range rows {
+				rows[i] = g.sel.idx[r.Intn(n)]
+			}
+			g.gather(rows, dst)
+			return
+		}
 		for i := range dst {
 			dst[i] = g.col[g.sel.idx[r.Intn(n)]]
 		}
@@ -298,9 +449,7 @@ func (g *FilteredGroup) DrawBatch(r *xrand.RNG, dst []float64) {
 	if err := g.sel.bits.SelectBatch(rows); err != nil {
 		panic(err) // ranks < count by construction
 	}
-	for i, row := range rows {
-		dst[i] = g.col[row]
-	}
+	g.gather(rows, dst)
 }
 
 // rowScratch returns the group's staging buffer with length n.
@@ -322,7 +471,7 @@ func (g *FilteredGroup) DrawWithoutReplacement(r *xrand.RNG) (float64, bool) {
 	g.ensurePerm()
 	j := g.next + r.Intn(n-g.next)
 	g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
-	v := g.col[g.sel.row(int(g.perm[g.next]))]
+	v := g.val(g.sel.row(int(g.perm[g.next])))
 	g.next++
 	return v, true
 }
@@ -351,9 +500,19 @@ func (g *FilteredGroup) DrawBatchWithoutReplacement(r *xrand.RNG, dst []float64)
 		if err := g.sel.bits.SelectBatch(rows); err != nil {
 			panic(err) // permutation ranks < count by construction
 		}
-		for i, row := range rows {
-			dst[i] = g.col[row]
+		g.gather(rows, dst[:taken])
+		return taken
+	}
+	if g.win != nil {
+		rows := g.rowScratch(len(dst))
+		for taken < len(dst) && g.next < n {
+			j := g.next + r.Intn(n-g.next)
+			g.perm[g.next], g.perm[j] = g.perm[j], g.perm[g.next]
+			rows[taken] = g.sel.idx[g.perm[g.next]]
+			g.next++
+			taken++
 		}
+		g.gather(rows[:taken], dst[:taken])
 		return taken
 	}
 	for taken < len(dst) && g.next < n {
@@ -383,14 +542,16 @@ func (g *FilteredGroup) ResetDraws() { g.next = 0 }
 // Scan visits every selected value, enabling bound inference and the SCAN
 // baseline on filtered data.
 func (g *FilteredGroup) Scan(fn func(v float64)) int64 {
+	// Both representations visit rows ascending, so the window path (val)
+	// decodes each touched block once through the cursor memo.
 	if g.sel.bits != nil {
 		g.sel.bits.ForEach(func(pos int) bool {
-			fn(g.col[pos])
+			fn(g.val(pos))
 			return true
 		})
 	} else {
 		for _, r := range g.sel.idx {
-			fn(g.col[r])
+			fn(g.val(int(r)))
 		}
 	}
 	return int64(g.sel.count)

@@ -50,22 +50,49 @@ type Table struct {
 	valueName  string      // ingested name of the value column ("value" default)
 	extraNames []string    // extra column names, in ingestion order
 	extras     [][]float64 // extras[e] is row-aligned with col
+
+	// bcols replaces col/extras for compressed (v2) segment tables:
+	// bcols[0] is the value column, bcols[1+e] extra e, all decoding
+	// through one shared block cache. Column and ExtraColumn materialize
+	// on demand; draw paths read through per-group block windows.
+	bcols []*blockColumn
 }
 
 // K returns the number of distinct groups.
 func (t *Table) K() int { return len(t.names) }
 
 // NumRows returns the total number of ingested rows.
-func (t *Table) NumRows() int { return len(t.col) }
+func (t *Table) NumRows() int {
+	if t.col == nil && len(t.offsets) > 0 {
+		return t.offsets[len(t.offsets)-1]
+	}
+	return len(t.col)
+}
 
 // Names returns the group labels in first-seen order. The slice is owned
 // by the table.
 func (t *Table) Names() []string { return t.names }
 
-// Column returns group i's packed values. The slice aliases the table's
-// column storage; callers must not mutate it.
+// Column returns group i's packed values. On plain tables the slice
+// aliases the table's column storage (callers must not mutate it); on
+// compressed segment tables it is materialized by decoding the group's
+// blocks, so each call allocates — tooling and verification use it, draw
+// paths never do.
 func (t *Table) Column(i int) []float64 {
+	if t.bcols != nil {
+		return t.materializeRange(t.bcols[0], t.offsets[i], t.offsets[i+1])
+	}
 	return t.col[t.offsets[i]:t.offsets[i+1]]
+}
+
+// materializeRange decodes rows [lo, hi) of a compressed column into a
+// fresh slice. Corrupt blocks degrade to zeros and surface through
+// SegmentTable.Err, like every cache read.
+func (t *Table) materializeRange(bc *blockColumn, lo, hi int) []float64 {
+	out := make([]float64, 0, hi-lo)
+	w := newBlockWindow(bc, int64(lo), hi-lo)
+	w.scan(func(v float64) { out = append(out, v) })
+	return out
 }
 
 // MinValue and MaxValue bound the ingested values (both 0 for an empty
@@ -90,6 +117,9 @@ func (t *Table) ExtraColumnNames() []string { return t.extraNames }
 func (t *Table) ExtraColumn(name string) ([]float64, bool) {
 	for e, n := range t.extraNames {
 		if n == name {
+			if t.bcols != nil {
+				return t.materializeRange(t.bcols[1+e], 0, t.NumRows()), true
+			}
 			return t.extras[e], true
 		}
 	}

@@ -43,6 +43,9 @@ func OpenSegmentTupleSource(dir string, dev *disksim.Device) (*SegmentTupleSourc
 	if err != nil {
 		return nil, err
 	}
+	if info.Compressed {
+		return nil, fmt.Errorf("needletail: segment tuple source: %s holds block-compressed columns; raw per-row pread needs an uncompressed (v1) segment — rewrite without SegmentOptions.Compress", dir)
+	}
 	f, err := os.Open(dataset.SegmentValuePath(dir))
 	if err != nil {
 		return nil, fmt.Errorf("needletail: segment tuple source: %w", err)

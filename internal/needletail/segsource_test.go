@@ -1,6 +1,7 @@
 package needletail
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -134,5 +135,27 @@ func TestNoIndexOverSegments(t *testing.T) {
 	}
 	if dev.Stats().MeasuredReads == 0 {
 		t.Fatal("no measured I/O recorded for the run")
+	}
+}
+
+// TestSegmentTupleSourceRejectsCompressed: the tuple source reads rows by
+// raw pread at row*8, which is meaningless over encoded blocks — a
+// compressed directory must be refused with a descriptive error.
+func TestSegmentTupleSourceRejectsCompressed(t *testing.T) {
+	b := dataset.NewTableBuilder()
+	rng := xrand.New(3)
+	for i := 0; i < 100; i++ {
+		b.Add("G", 40*rng.Float64())
+	}
+	tbl, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := tbl.WriteSegmentsOptions(dir, dataset.SegmentOptions{Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegmentTupleSource(dir, nil); err == nil || !strings.Contains(err.Error(), "block-compressed") {
+		t.Fatalf("compressed dir must be rejected, got %v", err)
 	}
 }

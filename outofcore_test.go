@@ -59,14 +59,33 @@ func assertIdenticalResults(t *testing.T, inmem, seg *rapidviz.Result) {
 	}
 }
 
+// segFormats are the two on-disk formats every restart-contract test runs
+// against: raw v1 columns and block-compressed v2 columns with a block
+// length small enough that the test groups span many blocks.
+var segFormats = []struct {
+	name string
+	opts rapidviz.SegmentOptions
+}{
+	{"raw", rapidviz.SegmentOptions{}},
+	{"compressed", rapidviz.SegmentOptions{Compress: true, BlockLen: 512}},
+}
+
 // TestSegmentRestartDeterminism is the restart contract: ingest, write
-// segments, reopen from disk in a fresh table, and every algorithm at
-// every batch cadence must reproduce the in-memory run bit for bit for
-// the same Query and Seed.
+// segments (raw and compressed), reopen from disk in a fresh table, and
+// every algorithm at every batch cadence must reproduce the in-memory run
+// bit for bit for the same Query and Seed.
 func TestSegmentRestartDeterminism(t *testing.T) {
+	for _, format := range segFormats {
+		t.Run(format.name, func(t *testing.T) {
+			testSegmentRestartDeterminism(t, format.opts)
+		})
+	}
+}
+
+func testSegmentRestartDeterminism(t *testing.T, opts rapidviz.SegmentOptions) {
 	tbl := segTestTable(t)
 	dir := t.TempDir()
-	if err := tbl.WriteSegments(dir); err != nil {
+	if err := tbl.WriteSegmentsOptions(dir, opts); err != nil {
 		t.Fatal(err)
 	}
 
@@ -116,12 +135,21 @@ func TestSegmentRestartDeterminism(t *testing.T) {
 }
 
 // TestSegmentWhereDeterminism: predicate-filtered queries plan views over
-// the mmap-backed columns (value and extras) and must match the in-memory
-// filtered runs bit for bit.
+// the on-disk columns (value and extras; zone-map pushdown on the
+// compressed format) and must match the in-memory filtered runs bit for
+// bit.
 func TestSegmentWhereDeterminism(t *testing.T) {
+	for _, format := range segFormats {
+		t.Run(format.name, func(t *testing.T) {
+			testSegmentWhereDeterminism(t, format.opts)
+		})
+	}
+}
+
+func testSegmentWhereDeterminism(t *testing.T, opts rapidviz.SegmentOptions) {
 	tbl := segTestTable(t)
 	dir := t.TempDir()
-	if err := tbl.WriteSegments(dir); err != nil {
+	if err := tbl.WriteSegmentsOptions(dir, opts); err != nil {
 		t.Fatal(err)
 	}
 	st, err := rapidviz.OpenSegments(dir)
@@ -169,6 +197,18 @@ func TestSegmentWhereDeterminism(t *testing.T) {
 // and requires the identical stream. Tiny groups force exhaustion for
 // every batch cadence.
 func TestSegmentWORExhaustion(t *testing.T) {
+	for _, format := range segFormats {
+		t.Run(format.name, func(t *testing.T) {
+			opts := format.opts
+			if opts.Compress {
+				opts.BlockLen = 16 // 50-row groups still cross blocks
+			}
+			testSegmentWORExhaustion(t, opts)
+		})
+	}
+}
+
+func testSegmentWORExhaustion(t *testing.T, opts rapidviz.SegmentOptions) {
 	b := rapidviz.NewTableBuilder()
 	rng := xrand.New(9)
 	for _, name := range []string{"X", "Y", "Z"} {
@@ -181,7 +221,7 @@ func TestSegmentWORExhaustion(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := t.TempDir()
-	if err := tbl.WriteSegments(dir); err != nil {
+	if err := tbl.WriteSegmentsOptions(dir, opts); err != nil {
 		t.Fatal(err)
 	}
 	st, err := rapidviz.OpenSegments(dir)

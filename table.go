@@ -100,10 +100,20 @@ type SegmentTable = dataset.SegmentTable
 // Table.WriteSegments (or the datagen/vizsample writers) as a queryable
 // table. Opening is lazy: only the manifest is read and validated — no
 // column data is faulted in — so open cost is independent of table size.
-// Use SegmentTable.VerifyChecksums to force a full integrity pass.
+// Use SegmentTable.VerifyChecksums to force a full integrity pass. Both
+// segment formats open transparently: raw v1 columns serve zero-copy
+// mmapped draws, compressed v2 columns (SegmentOptions.Compress) decode
+// through a bounded block cache — either way draw streams are bit-for-bit
+// identical to the in-memory table's.
 func OpenSegments(dir string) (*SegmentTable, error) {
 	return dataset.OpenSegments(dir)
 }
+
+// SegmentOptions selects the on-disk segment format for
+// Table.WriteSegmentsOptions: the zero value writes raw (v1) columns,
+// Compress writes block-compressed (v2) columns with per-block zone maps
+// that Table.Filter uses to skip blocks no row of which can match.
+type SegmentOptions = dataset.SegmentOptions
 
 // TableFromCSVWorkers is TableFromCSV with an explicit parallelism bound.
 // Sharded parsing (workers > 1, or 0 for all CPUs) buffers the whole
